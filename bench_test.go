@@ -1,0 +1,193 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// runs the corresponding experiment on a representative workload subset
+// with shortened windows (full-length reproductions are produced by
+// cmd/experiments) and reports the figure's key quantity as a custom
+// metric, so `go test -bench=. -benchmem` both times the simulator and
+// re-derives the paper's results.
+package specsched_test
+
+import (
+	"strings"
+	"testing"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/experiments"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+)
+
+// benchWorkloads is a representative slice of the Table 2 suite: two
+// bank-conflict-prone high-IPC codes, one high-miss/high-ILP, one
+// streaming-DRAM, one pointer chase, one branchy INT.
+var benchWorkloads = []string{"swim", "hmmer", "xalancbmk", "libquantum", "mcf", "gzip"}
+
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Warmup:    4000,
+		Measure:   20000,
+		Workloads: benchWorkloads,
+	}
+}
+
+// BenchmarkTable2 regenerates the per-benchmark Baseline_0 IPC table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		out, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, "xalancbmk") {
+			b.Fatal("table missing rows")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the conservative-scheduling slowdown and
+// reports the Baseline_6 gmean slowdown (the paper's worst case).
+func BenchmarkFig3(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		if _, err := r.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+		set, err := r.Collect("Baseline_0", "Baseline_6")
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = set.GMeanSpeedup("Baseline_6", "Baseline_0")
+	}
+	b.ReportMetric(slowdown, "gmean-B6/B0")
+}
+
+// BenchmarkFig4 regenerates speculative scheduling with dual vs banked L1
+// and reports the banked SpecSched_4 gmean relative to Baseline_0.
+func BenchmarkFig4(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		if _, err := r.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+		set, err := r.Collect("Baseline_0", "SpecSched_4")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel = set.GMeanSpeedup("SpecSched_4", "Baseline_0")
+	}
+	b.ReportMetric(rel, "gmean-SS4/B0")
+}
+
+// BenchmarkFig5 regenerates Schedule Shifting and reports the fraction of
+// bank-conflict replays it removes (paper: 74.8%).
+func BenchmarkFig5(b *testing.B) {
+	var removed float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		if _, err := r.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+		set, err := r.Collect("SpecSched_4", "SpecSched_4_Shift")
+		if err != nil {
+			b.Fatal(err)
+		}
+		removed = set.ReductionVs("SpecSched_4_Shift", "SpecSched_4",
+			func(run *stats.Run) int64 { return run.ReplayedBank })
+	}
+	b.ReportMetric(100*removed, "bank-replays-removed-%")
+}
+
+// BenchmarkFig7 regenerates hit/miss filtering and reports the fraction of
+// miss replays the filter removes (paper: 65.0%).
+func BenchmarkFig7(b *testing.B) {
+	var removed float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		if _, err := r.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+		set, err := r.Collect("SpecSched_4", "SpecSched_4_Filter")
+		if err != nil {
+			b.Fatal(err)
+		}
+		removed = set.ReductionVs("SpecSched_4_Filter", "SpecSched_4",
+			func(run *stats.Run) int64 { return run.ReplayedMiss })
+	}
+	b.ReportMetric(100*removed, "miss-replays-removed-%")
+}
+
+// BenchmarkFig8 regenerates Combined/Crit and reports the total replay
+// reduction of SpecSched_4_Crit (paper: 90.6%).
+func BenchmarkFig8(b *testing.B) {
+	var removed float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		if _, err := r.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+		set, err := r.Collect("SpecSched_4", "SpecSched_4_Crit")
+		if err != nil {
+			b.Fatal(err)
+		}
+		removed = set.ReductionVs("SpecSched_4_Crit", "SpecSched_4",
+			func(run *stats.Run) int64 { return run.Replayed() })
+	}
+	b.ReportMetric(100*removed, "replays-removed-%")
+}
+
+// BenchmarkDelaySweep regenerates the §5.3 SpecSched_{2,6}_Crit numbers.
+func BenchmarkDelaySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchOpts())
+		if _, err := r.DelaySweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreThroughput measures raw simulation speed: committed µ-ops
+// per wall-clock second on the heaviest configuration.
+func BenchmarkCoreThroughput(b *testing.B) {
+	p, err := trace.ByName("xalancbmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := config.Preset("SpecSched_4_Crit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.New(cfg, trace.New(p), p.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Run(5000, 1) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(0, 1000)
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds(), "µops/s")
+}
+
+// BenchmarkCoreStepBaseline measures per-cycle simulation cost on the
+// conservative baseline (no replay machinery active).
+func BenchmarkCoreStepBaseline(b *testing.B) {
+	p, err := trace.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := config.Preset("Baseline_0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.New(cfg, trace.New(p), p.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Run(2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

@@ -1,0 +1,30 @@
+// Command calibrate is the workload calibration harness: it runs every
+// workload on Baseline_0 and prints measured vs. paper IPC.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/trace"
+)
+
+func main() {
+	cfgName := flag.String("config", "Baseline_0", "preset")
+	n := flag.Int64("n", 60000, "measured µ-ops")
+	flag.Parse()
+	cfg, err := config.Preset(*cfgName)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range trace.Profiles() {
+		g := trace.New(p)
+		c := core.MustNew(cfg, g, p.Seed)
+		c.SetWorkloadName(p.Name)
+		r := c.Run(*n/5, *n)
+		fmt.Printf("%-11s ipc=%.3f paper=%.3f mpki=%4.1f l1miss=%.3f conf=%5d rpldM=%6d rpldB=%6d late=%d\n",
+			p.Name, r.IPC(), p.PaperIPC, r.MPKI(), r.L1MissRate(), r.BankConflicts, r.ReplayedMiss, r.ReplayedBank, r.LateOperands)
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's tables and figures as text
+// reports.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig7|fig8|delays|summary]
+//	            [-measure N] [-warmup N] [-workloads a,b,c] [-parallel N]
+//
+// Each report prints the same rows/series the paper reports, normalized the
+// same way (per-benchmark vs Baseline_0, geometric means); paper reference
+// numbers are attached where the paper states them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"specsched/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments.Names(), "|")+"|all)")
+	measure := flag.Int64("measure", 60000, "measured µ-ops per run")
+	warmup := flag.Int64("warmup", 10000, "warmup µ-ops per run")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (default: GOMAXPROCS)")
+	flag.Parse()
+
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Parallel: *parallel}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	r := experiments.NewRunner(opts)
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	start := time.Now()
+	for _, name := range names {
+		out, err := r.Run(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
+}

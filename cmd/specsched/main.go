@@ -1,0 +1,73 @@
+// Command specsched runs a single workload on a single configuration and
+// prints the detailed statistics — the entry point for exploring the
+// simulator interactively.
+//
+// Usage:
+//
+//	specsched [-config SpecSched_4_Crit] [-workload xalancbmk]
+//	          [-measure N] [-warmup N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/trace"
+)
+
+func main() {
+	cfgName := flag.String("config", "SpecSched_4", "configuration preset")
+	workload := flag.String("workload", "xalancbmk", "workload name")
+	measure := flag.Int64("measure", 100000, "measured µ-ops")
+	warmup := flag.Int64("warmup", 20000, "warmup µ-ops")
+	list := flag.Bool("list", false, "list configurations and workloads, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations:")
+		for _, n := range config.PresetNames() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("workloads:")
+		fmt.Println("  " + strings.Join(trace.ProfileNames(), " "))
+		return
+	}
+
+	cfg, err := config.Preset(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := trace.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c, err := core.New(cfg, trace.New(p), p.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c.SetWorkloadName(p.Name)
+	r := c.Run(*warmup, *measure)
+
+	fmt.Printf("workload %s on %s (%d warmup + %d measured µ-ops)\n\n",
+		r.Workload, r.Config, *warmup, r.Committed)
+	fmt.Printf("  IPC                 %8.3f   (paper Table 2: %.3f)\n", r.IPC(), p.PaperIPC)
+	fmt.Printf("  cycles              %8d\n", r.Cycles)
+	fmt.Printf("  issued µ-ops        %8d\n", r.Issued)
+	fmt.Printf("  distinct (Unique)   %8d\n", r.Unique)
+	fmt.Printf("  replayed (L1 miss)  %8d   events %d\n", r.ReplayedMiss, r.MissReplayEvents)
+	fmt.Printf("  replayed (bank)     %8d   events %d\n", r.ReplayedBank, r.BankReplayEvents)
+	fmt.Printf("  loads               %8d   L1 miss rate %.3f, bank conflicts %d\n",
+		r.Loads, r.L1MissRate(), r.BankConflicts)
+	fmt.Printf("  spec wakeups        %8d   delayed wakeups %d\n", r.LoadsSpecWakeup, r.LoadsDelayedWakeup)
+	fmt.Printf("  branches            %8d   mispredicts %d (%.1f MPKI)\n", r.Branches, r.Mispredicts, r.MPKI())
+	fmt.Printf("  mem-order violations%8d\n", r.MemOrderViolations)
+	fmt.Printf("  avg IQ / ROB occ    %8.1f / %.1f\n",
+		float64(r.IQOccupancySum)/float64(r.Cycles), float64(r.ROBOccupancySum)/float64(r.Cycles))
+}

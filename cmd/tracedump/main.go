@@ -1,0 +1,57 @@
+// Command tracedump prints the first µ-ops of a workload's dynamic stream —
+// useful for inspecting what a profile or kernel actually generates.
+//
+// Usage:
+//
+//	tracedump [-workload gzip | -kernel chase|stream|stencil] [-n 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specsched/internal/trace"
+	"specsched/internal/uop"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload profile name")
+	kernel := flag.String("kernel", "", "kernel name: chase, stream, stencil")
+	n := flag.Int("n", 50, "number of µ-ops to print")
+	flag.Parse()
+
+	var s uop.Stream
+	switch {
+	case *kernel != "":
+		switch *kernel {
+		case "chase":
+			s = trace.NewPointerChase(1, 1024)
+		case "stream":
+			s = trace.NewStreamSum(8 << 10)
+		case "stencil":
+			s = trace.NewStencil(8 << 10)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+			os.Exit(1)
+		}
+	case *workload != "":
+		p, err := trace.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s = trace.New(p)
+	default:
+		fmt.Fprintln(os.Stderr, "specify -workload or -kernel (see -h)")
+		os.Exit(1)
+	}
+
+	for i := 0; i < *n; i++ {
+		u, ok := s.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(u.String())
+	}
+}

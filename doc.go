@@ -1,0 +1,14 @@
+// Package specsched reproduces "Cost-Effective Speculative Scheduling in
+// High Performance Processors" (Perais, Seznec, Michaud, Sembrant,
+// Hagersten — ISCA 2015) as a from-scratch, cycle-level out-of-order core
+// simulator written in pure Go.
+//
+// The library lives under internal/: the pipeline model in internal/core,
+// the substrates (TAGE branch prediction, banked L1D with a single line
+// buffer, L2 with stride prefetching, DDR3 timing, store sets, register
+// renaming) in sibling packages, the synthetic SPEC-like workloads in
+// internal/trace, and the per-figure experiment runners in
+// internal/experiments. The benchmarks in this directory regenerate every
+// table and figure of the paper's evaluation; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package specsched

@@ -1,0 +1,56 @@
+// Bank conflicts and Schedule Shifting (§5.1 of the paper).
+//
+// The stencil kernel loads a[i] and b[i] every iteration; the arrays are
+// laid out so both loads map to the same L1 bank in different sets. Issued
+// in the same cycle, the second access is delayed by the bank conflict and
+// every dependent scheduled assuming a normal hit must be replayed.
+// Schedule Shifting wakes dependents of the second load one cycle late,
+// absorbing the conflict.
+//
+// Run with:
+//
+//	go run ./examples/bankconflicts
+package main
+
+import (
+	"fmt"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+)
+
+func run(cfgName string) *stats.Run {
+	cfg, err := config.Preset(cfgName)
+	if err != nil {
+		panic(err)
+	}
+	c, err := core.New(cfg, trace.NewStencil(8<<10), 7)
+	if err != nil {
+		panic(err)
+	}
+	c.SetWorkloadName("stencil")
+	return c.Run(10000, 80000)
+}
+
+func main() {
+	dual := run("SpecSched_4_dual") // ideal dual-ported L1: no conflicts
+	base := run("SpecSched_4")      // banked L1, plain speculative scheduling
+	shift := run("SpecSched_4_Shift")
+
+	fmt.Println("stencil kernel: c[i] = a[i] + b[i], same-bank load pairs")
+	fmt.Println()
+	tb := stats.NewTable("", "config", "IPC", "bank conflicts", "bank replays", "issued")
+	for _, r := range []*stats.Run{dual, base, shift} {
+		tb.AddRowf(3, r.Config, r.IPC(), r.BankConflicts, r.ReplayedBank, r.Issued)
+	}
+	fmt.Println(tb.String())
+
+	lost := 1 - base.IPC()/dual.IPC()
+	rec := (shift.IPC() - base.IPC()) / dual.IPC()
+	fmt.Printf("banking costs %.1f%% of the dual-ported IPC; Shifting recovers %.1f points\n",
+		100*lost, 100*rec)
+	fmt.Printf("bank-conflict replays removed by Shifting: %.1f%% (paper, suite-wide: 74.8%%)\n",
+		100*(1-float64(shift.ReplayedBank)/float64(base.ReplayedBank)))
+}

@@ -1,0 +1,115 @@
+package bpred
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+// Table 1: 2-way, 8K entries.
+type BTB struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets*ways; 0 means invalid (PC 0 is never a branch)
+	tgts  []uint64
+	lru   []uint8 // per-entry recency; higher = more recent
+	clock uint8
+}
+
+// NewBTB constructs a BTB with the given total entry count and
+// associativity. entries must be a positive multiple of ways with a
+// power-of-two set count.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("bpred: invalid BTB geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("bpred: BTB set count must be a power of two")
+	}
+	return &BTB{
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, entries),
+		tgts: make([]uint64, entries),
+		lru:  make([]uint8, entries),
+	}
+}
+
+func (b *BTB) setOf(pc uint64) int { return int(pc>>2) & (b.sets - 1) }
+
+// Lookup returns the predicted target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	base := b.setOf(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] == pc {
+			b.touch(base + w)
+			return b.tgts[base+w], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records (or refreshes) the target of the branch at pc, evicting the
+// least recently used way of the set if needed.
+func (b *BTB) Insert(pc, target uint64) {
+	base := b.setOf(pc) * b.ways
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.tags[i] == pc || b.tags[i] == 0 {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = pc
+	b.tgts[victim] = target
+	b.touch(victim)
+}
+
+func (b *BTB) touch(i int) {
+	b.clock++
+	if b.clock == 0 { // wrapped: rescale all recencies
+		for j := range b.lru {
+			b.lru[j] >>= 1
+		}
+		b.clock = 128
+	}
+	b.lru[i] = b.clock
+}
+
+// RAS is a fixed-depth return address stack with wrap-around overwrite, as
+// in real front ends (32 entries in Table 1). Underflow returns ok=false.
+type RAS struct {
+	stack []uint64
+	top   int // index of next push slot
+	depth int // number of live entries, capped at len(stack)
+}
+
+// NewRAS constructs a return address stack with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("bpred: RAS size must be positive")
+	}
+	return &RAS{stack: make([]uint64, n)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return r.stack[r.top], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,210 @@
+// Package cache implements the data-cache hierarchy of Table 1: a 32 KB
+// 8-way L1D with two read ports, eight 8 B quadword-interleaved banks, a
+// Rivers-style Single Line Buffer, and 64 MSHRs; and a 1 MB 16-way L2 with
+// a degree-8 stride prefetcher. The package exposes timing-level behaviour
+// only — no data is stored, since the simulator is trace driven.
+package cache
+
+// MemBackend is the next level of the hierarchy (the L2 below the L1D, the
+// DRAM below the L2). Access requests the 64 B line containing addr at CPU
+// cycle now and returns the cycle the line is available to the requester.
+// pc is the requesting instruction's PC (used by PC-indexed prefetchers);
+// write marks stores.
+type MemBackend interface {
+	Access(addr, pc uint64, now int64, write bool) int64
+}
+
+const invalidTag = ^uint64(0)
+
+// Array is a set-associative tag array with true LRU replacement. It tracks
+// presence only (trace-driven timing model).
+type Array struct {
+	sets     int
+	ways     int
+	lineBits uint
+	tags     []uint64
+	stamps   []int64
+	clock    int64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewArray builds a tag array with the given geometry. sizeBytes must be
+// ways*lineBytes*2^k for some k >= 0.
+func NewArray(sizeBytes, ways, lineBytes int) *Array {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 ||
+		sizeBytes%(ways*lineBytes) != 0 {
+		panic("cache: invalid geometry")
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < lineBytes {
+		lineBits++
+	}
+	a := &Array{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lineBits,
+		tags:     make([]uint64, sets*ways),
+		stamps:   make([]int64, sets*ways),
+	}
+	for i := range a.tags {
+		a.tags[i] = invalidTag
+	}
+	return a
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// SetOf returns the set index addr maps to.
+func (a *Array) SetOf(addr uint64) int {
+	return int(addr>>a.lineBits) & (a.sets - 1)
+}
+
+// LineOf returns the line address (addr with the offset bits stripped).
+func (a *Array) LineOf(addr uint64) uint64 { return addr >> a.lineBits }
+
+// Lookup probes the array, refreshing LRU state on a hit.
+func (a *Array) Lookup(addr uint64) bool {
+	line := a.LineOf(addr)
+	base := a.SetOf(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		if a.tags[base+w] == line {
+			a.clock++
+			a.stamps[base+w] = a.clock
+			a.Hits++
+			return true
+		}
+	}
+	a.Misses++
+	return false
+}
+
+// Contains probes without updating LRU or statistics.
+func (a *Array) Contains(addr uint64) bool {
+	line := a.LineOf(addr)
+	base := a.SetOf(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		if a.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr, evicting the LRU way if the set is
+// full. It returns the evicted line address and whether an eviction
+// happened. Inserting an already-present line refreshes its LRU state.
+func (a *Array) Insert(addr uint64) (evicted uint64, wasEvicted bool) {
+	line := a.LineOf(addr)
+	base := a.SetOf(addr) * a.ways
+	victim := base
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.tags[i] == line {
+			a.clock++
+			a.stamps[i] = a.clock
+			return 0, false
+		}
+		if a.tags[i] == invalidTag {
+			victim = i
+			// Keep scanning: the line might be present in a later way.
+			continue
+		}
+		if a.tags[victim] != invalidTag && a.stamps[i] < a.stamps[victim] {
+			victim = i
+		}
+	}
+	var old uint64
+	had := a.tags[victim] != invalidTag
+	if had {
+		old = a.tags[victim] << a.lineBits
+	}
+	a.tags[victim] = line
+	a.clock++
+	a.stamps[victim] = a.clock
+	return old, had
+}
+
+// Invalidate removes the line containing addr if present.
+func (a *Array) Invalidate(addr uint64) {
+	line := a.LineOf(addr)
+	base := a.SetOf(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		if a.tags[base+w] == line {
+			a.tags[base+w] = invalidTag
+		}
+	}
+}
+
+// mshrFile tracks in-flight line fills: line address -> fill-complete cycle.
+// It bounds the number of outstanding misses; when full, new misses are
+// delayed until the earliest in-flight fill completes.
+type mshrFile struct {
+	capacity int
+	inflight map[uint64]int64
+
+	Merges     int64 // accesses that hit an in-flight fill
+	FullStalls int64 // accesses delayed by MSHR exhaustion
+}
+
+func newMSHRFile(capacity int) *mshrFile {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &mshrFile{capacity: capacity, inflight: make(map[uint64]int64, capacity)}
+}
+
+// lookup returns the fill time of an in-flight request for line, if any.
+func (m *mshrFile) lookup(line uint64) (int64, bool) {
+	t, ok := m.inflight[line]
+	return t, ok
+}
+
+// prune drops completed fills (fill time <= now).
+func (m *mshrFile) prune(now int64) {
+	for l, t := range m.inflight {
+		if t <= now {
+			delete(m.inflight, l)
+		}
+	}
+}
+
+// earliest returns the soonest in-flight fill completion.
+func (m *mshrFile) earliest() int64 {
+	var best int64 = -1
+	for _, t := range m.inflight {
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// allocate registers a new in-flight fill. If the file is full even after
+// pruning, the request start time is pushed to the earliest completion.
+// It returns the (possibly delayed) request start time.
+func (m *mshrFile) allocate(line uint64, now int64) int64 {
+	m.prune(now)
+	start := now
+	for len(m.inflight) >= m.capacity {
+		e := m.earliest()
+		if e < 0 {
+			break
+		}
+		m.FullStalls++
+		start = e
+		m.prune(start)
+	}
+	return start
+}
+
+// record stores the fill completion time after the backend access.
+func (m *mshrFile) record(line uint64, fillAt int64) {
+	m.inflight[line] = fillAt
+}

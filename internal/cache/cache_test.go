@@ -1,0 +1,545 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specsched/internal/config"
+	"specsched/internal/rng"
+)
+
+// stubBackend is a fixed-latency MemBackend recording its requests.
+type stubBackend struct {
+	lat   int64
+	calls int64
+	addrs []uint64
+}
+
+func (s *stubBackend) Access(addr, pc uint64, now int64, write bool) int64 {
+	s.calls++
+	s.addrs = append(s.addrs, addr)
+	return now + s.lat
+}
+
+func TestArrayBasic(t *testing.T) {
+	a := NewArray(1024, 2, 64) // 8 sets, 2 ways
+	if a.Lookup(0x40) {
+		t.Fatal("empty array hit")
+	}
+	a.Insert(0x40)
+	if !a.Lookup(0x40) {
+		t.Fatal("inserted line missing")
+	}
+	if a.Lookup(0x80) {
+		t.Fatal("different line hit")
+	}
+	// Same line, different offset within the 64 B line.
+	if !a.Lookup(0x7f) {
+		t.Fatal("same-line different-offset missed")
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := NewArray(1024, 2, 64) // 8 sets; same set every 512 bytes
+	setStride := uint64(8 * 64)
+	a.Insert(0)
+	a.Insert(setStride)
+	a.Lookup(0) // line 0 is now MRU
+	a.Insert(2 * setStride)
+	if a.Contains(setStride) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !a.Contains(0) || !a.Contains(2*setStride) {
+		t.Fatal("wrong line evicted")
+	}
+}
+
+func TestArrayInsertExistingRefreshes(t *testing.T) {
+	a := NewArray(1024, 2, 64)
+	setStride := uint64(8 * 64)
+	a.Insert(0)
+	a.Insert(setStride)
+	if _, evicted := a.Insert(0); evicted {
+		t.Fatal("re-inserting a present line evicted something")
+	}
+	a.Insert(2 * setStride)
+	if !a.Contains(0) {
+		t.Fatal("refreshed line was evicted")
+	}
+}
+
+func TestArrayEvictionReturnsOldLine(t *testing.T) {
+	a := NewArray(128, 1, 64) // direct-mapped, 2 sets
+	a.Insert(0)
+	old, evicted := a.Insert(128) // same set as 0
+	if !evicted || old != 0 {
+		t.Fatalf("eviction = (%#x, %t), want (0, true)", old, evicted)
+	}
+}
+
+func TestArrayInvalidate(t *testing.T) {
+	a := NewArray(1024, 2, 64)
+	a.Insert(0x40)
+	a.Invalidate(0x40)
+	if a.Contains(0x40) {
+		t.Fatal("invalidated line still present")
+	}
+}
+
+func TestArrayWorkingSetProperty(t *testing.T) {
+	// Property: any working set with at most `ways` lines per set never
+	// misses after the first touch, under any access order.
+	f := func(seed uint64) bool {
+		a := NewArray(4096, 4, 64) // 16 sets, 4 ways
+		r := rng.New(seed)
+		// Pick 4 lines in each of 3 random sets.
+		var lines []uint64
+		for s := 0; s < 3; s++ {
+			set := uint64(r.Intn(16))
+			for w := 0; w < 4; w++ {
+				lines = append(lines, (uint64(w*16)+set)*64)
+			}
+		}
+		for _, l := range lines {
+			a.Insert(l)
+		}
+		for i := 0; i < 200; i++ {
+			l := lines[r.Intn(len(lines))]
+			if !a.Lookup(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayInvalidGeometry(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewArray(0, 2, 64) },
+		func() { NewArray(1000, 2, 64) },
+		func() { NewArray(3*64*2, 2, 64) }, // 3 sets
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid geometry did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func newTestL1(banked bool, slb bool) (*L1D, *stubBackend) {
+	cfg := config.Default()
+	cfg.BankedL1 = banked
+	cfg.SingleLineBuffer = slb
+	b := &stubBackend{lat: 13}
+	return NewL1D(&cfg, b), b
+}
+
+func TestL1HitTiming(t *testing.T) {
+	l, _ := newTestL1(false, true)
+	l.Load(0x1000, 0x40, 10) // miss, fills
+	res := l.Load(0x1000, 0x44, 200)
+	if !res.Hit {
+		t.Fatal("expected hit after fill")
+	}
+	if res.DataReady != 200+l.LoadToUse() {
+		t.Fatalf("hit DataReady = %d, want %d", res.DataReady, 200+l.LoadToUse())
+	}
+	if res.HitKnown != 200+l.LoadToUse()-1 {
+		t.Fatalf("HitKnown = %d, want one cycle before data", res.HitKnown)
+	}
+	if res.BankDelayed {
+		t.Fatal("unbanked cache reported a bank delay")
+	}
+}
+
+func TestL1MissGoesBelow(t *testing.T) {
+	l, b := newTestL1(false, true)
+	res := l.Load(0x1000, 0x40, 10)
+	if res.Hit {
+		t.Fatal("cold access hit")
+	}
+	if b.calls != 1 {
+		t.Fatalf("backend calls = %d, want 1", b.calls)
+	}
+	// Miss latency: service + loadToUse (tag check) + backend latency.
+	want := int64(10) + l.LoadToUse() + 13
+	if res.DataReady != want {
+		t.Fatalf("miss DataReady = %d, want %d", res.DataReady, want)
+	}
+}
+
+func TestL1MSHRMerge(t *testing.T) {
+	l, b := newTestL1(false, true)
+	first := l.Load(0x1000, 0x40, 10)
+	second := l.Load(0x1010, 0x44, 11) // same line, while fill in flight
+	if b.calls != 1 {
+		t.Fatalf("backend calls = %d, want 1 (merge)", b.calls)
+	}
+	if !second.Merged {
+		t.Fatal("second access not marked merged")
+	}
+	if second.DataReady < first.DataReady-1 && second.DataReady < 11+l.LoadToUse() {
+		t.Fatalf("merged access ready too early: %d", second.DataReady)
+	}
+}
+
+func TestL1BankConflictSameBankDifferentSet(t *testing.T) {
+	l, _ := newTestL1(true, true)
+	// Warm both lines so only bank behaviour matters.
+	l.Load(0x0000, 0x40, 0)
+	l.Load(0x1040, 0x44, 1)
+	// 0x0000 and 0x1040 share bank 0 (bits 3..5) but sit in sets 0 and 1.
+	a := l.Load(0x0000, 0x40, 100)
+	c := l.Load(0x1040, 0x44, 100)
+	if a.BankDelayed {
+		t.Fatal("first load of the pair delayed")
+	}
+	if !c.BankDelayed || c.ServiceCycle != 101 {
+		t.Fatalf("conflicting load: delayed=%t service=%d, want true/101",
+			c.BankDelayed, c.ServiceCycle)
+	}
+	if l.BankConflicts != 1 {
+		t.Fatalf("BankConflicts = %d, want 1", l.BankConflicts)
+	}
+}
+
+func TestL1NoConflictDifferentBanks(t *testing.T) {
+	l, _ := newTestL1(true, true)
+	l.Load(0x0000, 0x40, 0)
+	l.Load(0x0008, 0x44, 1) // next quadword: next bank
+	a := l.Load(0x0000, 0x40, 100)
+	c := l.Load(0x0008, 0x44, 100)
+	if a.BankDelayed || c.BankDelayed {
+		t.Fatal("different banks should not conflict")
+	}
+}
+
+func TestL1SLBAllowsSameSetPair(t *testing.T) {
+	l, _ := newTestL1(true, true)
+	// Same line => same set and same bank for identical quadword offset.
+	l.Load(0x0000, 0x40, 0)
+	a := l.Load(0x0000, 0x40, 100)
+	c := l.Load(0x0000, 0x44, 100)
+	if a.BankDelayed || c.BankDelayed {
+		t.Fatal("SLB pair delayed")
+	}
+	// A third access to the same set conflicts (only two SLB ports).
+	d := l.Load(0x0000, 0x48, 100)
+	if !d.BankDelayed {
+		t.Fatal("third same-set access must be delayed")
+	}
+}
+
+func TestL1NoSLBSameSetConflicts(t *testing.T) {
+	l, _ := newTestL1(true, false)
+	l.Load(0x0000, 0x40, 0)
+	a := l.Load(0x0000, 0x40, 100)
+	c := l.Load(0x0000, 0x44, 100)
+	if a.BankDelayed {
+		t.Fatal("first access delayed")
+	}
+	if !c.BankDelayed {
+		t.Fatal("same-bank pair without SLB must conflict")
+	}
+}
+
+func TestL1PortLimit(t *testing.T) {
+	l, _ := newTestL1(true, true)
+	// Three loads to three different banks in one cycle: two ports only.
+	a := l.Load(0x0000, 0x40, 100)
+	b := l.Load(0x0008, 0x44, 100)
+	c := l.Load(0x0010, 0x48, 100)
+	if a.BankDelayed || b.BankDelayed {
+		t.Fatal("first two loads should both be serviced")
+	}
+	if !c.BankDelayed || c.ServiceCycle != 101 {
+		t.Fatalf("third load service = %d (delayed=%t), want 101", c.ServiceCycle, c.BankDelayed)
+	}
+}
+
+func TestL1CascadedConflictPaperExample(t *testing.T) {
+	// §3.1: two conflicting loads at cycle 0; at cycle 1 two more loads
+	// that conflict with each other but not with the queued one — the
+	// cache services the queued load plus one of the new pair; the last
+	// proceeds at cycle 2.
+	l, _ := newTestL1(true, true)
+	a := l.Load(0x0000, 0x40, 0) // bank 0, set 0
+	b := l.Load(0x1040, 0x44, 0) // bank 0, set 1 -> queued to cycle 1
+	c := l.Load(0x0010, 0x48, 1) // bank 2, set 0
+	d := l.Load(0x1050, 0x4c, 1) // bank 2, set 1
+	if a.ServiceCycle != 0 || b.ServiceCycle != 1 {
+		t.Fatalf("first pair services = %d,%d, want 0,1", a.ServiceCycle, b.ServiceCycle)
+	}
+	if c.ServiceCycle != 1 {
+		t.Fatalf("first of second pair service = %d, want 1", c.ServiceCycle)
+	}
+	if d.ServiceCycle != 2 {
+		t.Fatalf("last load service = %d, want 2", d.ServiceCycle)
+	}
+}
+
+func TestL1OutOfOrderSubmitPanics(t *testing.T) {
+	l, _ := newTestL1(true, true)
+	l.Load(0x0000, 0x40, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order submit did not panic")
+		}
+	}()
+	l.Load(0x0000, 0x40, 50)
+}
+
+func TestL1StoreFillsLine(t *testing.T) {
+	l, b := newTestL1(false, true)
+	l.Store(0x3000, 0x40, 10)
+	if b.calls != 1 {
+		t.Fatalf("store miss backend calls = %d, want 1", b.calls)
+	}
+	res := l.Load(0x3000, 0x44, 200)
+	if !res.Hit {
+		t.Fatal("load after store-allocate missed")
+	}
+}
+
+func TestL1SetInterleave(t *testing.T) {
+	cfg := config.Default()
+	cfg.BankedL1 = true
+	cfg.L1Interleave = config.SetInterleave
+	l := NewL1D(&cfg, &stubBackend{lat: 13})
+	// Under set interleaving, two quadwords of the same line share a bank.
+	if l.BankOf(0x0000) != l.BankOf(0x0008) {
+		t.Fatal("same line must map to one bank under set interleaving")
+	}
+	// Consecutive sets map to different banks.
+	if l.BankOf(0x0000) == l.BankOf(0x0040) {
+		t.Fatal("consecutive sets should hit different banks")
+	}
+}
+
+func TestL2HitMissTiming(t *testing.T) {
+	cfg := config.Default()
+	b := &stubBackend{lat: 100}
+	l2 := NewL2(&cfg, b)
+	miss := l2.Access(0x8000, 0x40, 1000, false)
+	// Miss: tag check (13) + backend (100).
+	if miss != 1000+13+100 {
+		t.Fatalf("L2 miss ready = %d, want %d", miss, 1000+13+100)
+	}
+	hit := l2.Access(0x8000, 0x40, 5000, false)
+	if hit != 5000+13 {
+		t.Fatalf("L2 hit ready = %d, want %d", hit, 5000+13)
+	}
+}
+
+func TestL2MSHRMerge(t *testing.T) {
+	cfg := config.Default()
+	b := &stubBackend{lat: 100}
+	l2 := NewL2(&cfg, b)
+	first := l2.Access(0x8000, 0x40, 1000, false)
+	second := l2.Access(0x8010, 0x44, 1001, false)
+	if b.calls != 1 {
+		t.Fatalf("backend calls = %d, want 1", b.calls)
+	}
+	if second > first {
+		t.Fatalf("merged access ready %d after original %d", second, first)
+	}
+}
+
+func TestStridePrefetcherTrains(t *testing.T) {
+	p := newStridePrefetcher(8)
+	pc := uint64(0x40)
+	var out []uint64
+	for i := 0; i < 5; i++ {
+		out = p.observe(uint64(0x1000+i*64), pc)
+	}
+	if len(out) != 8 {
+		t.Fatalf("confirmed stride issued %d prefetches, want 8", len(out))
+	}
+	if out[0] != 0x1000+5*64 || out[7] != 0x1000+12*64 {
+		t.Fatalf("prefetch addresses wrong: first=%#x last=%#x", out[0], out[7])
+	}
+}
+
+func TestStridePrefetcherResetsOnStrideChange(t *testing.T) {
+	p := newStridePrefetcher(8)
+	pc := uint64(0x40)
+	for i := 0; i < 5; i++ {
+		p.observe(uint64(0x1000+i*64), pc)
+	}
+	if out := p.observe(0x9000, pc); out != nil {
+		t.Fatal("stride change should reset confidence")
+	}
+}
+
+func TestStridePrefetcherIgnoresZeroStride(t *testing.T) {
+	p := newStridePrefetcher(8)
+	for i := 0; i < 10; i++ {
+		if out := p.observe(0x1000, 0x40); out != nil {
+			t.Fatal("zero stride must not prefetch")
+		}
+	}
+}
+
+func TestL2PrefetchHidesStreamLatency(t *testing.T) {
+	cfg := config.Default()
+	b := &stubBackend{lat: 100}
+	l2 := NewL2(&cfg, b)
+	// Stream 64 consecutive lines through the same PC.
+	now := int64(1000)
+	misses := 0
+	for i := 0; i < 64; i++ {
+		addr := uint64(0x100000 + i*64)
+		ready := l2.Access(addr, 0x40, now, false)
+		if ready > now+int64(cfg.L2.Latency) {
+			misses++
+		}
+		now += 50
+	}
+	if l2.Prefetches == 0 {
+		t.Fatal("prefetcher never fired on a pure stream")
+	}
+	if misses > 16 {
+		t.Fatalf("%d/64 stream accesses paid miss latency despite prefetching", misses)
+	}
+}
+
+func TestL2PrefetchDisabled(t *testing.T) {
+	cfg := config.Default()
+	cfg.PrefetchEnable = false
+	b := &stubBackend{lat: 100}
+	l2 := NewL2(&cfg, b)
+	for i := 0; i < 16; i++ {
+		l2.Access(uint64(0x100000+i*64), 0x40, int64(1000+i*200), false)
+	}
+	if l2.Prefetches != 0 {
+		t.Fatalf("prefetches issued while disabled: %d", l2.Prefetches)
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	m := newMSHRFile(2)
+	m.record(1, 1000)
+	m.record(2, 2000)
+	start := m.allocate(3, 100)
+	if start != 1000 {
+		t.Fatalf("allocate with full MSHRs start = %d, want 1000", start)
+	}
+	if m.FullStalls != 1 {
+		t.Fatalf("FullStalls = %d, want 1", m.FullStalls)
+	}
+}
+
+func TestMSHRPrune(t *testing.T) {
+	m := newMSHRFile(4)
+	m.record(1, 100)
+	m.record(2, 200)
+	m.prune(150)
+	if _, ok := m.lookup(1); ok {
+		t.Fatal("completed fill not pruned")
+	}
+	if _, ok := m.lookup(2); !ok {
+		t.Fatal("in-flight fill wrongly pruned")
+	}
+}
+
+func TestHierarchyEndToEnd(t *testing.T) {
+	// L1 -> L2 -> stub DRAM: a pointer-chase over a 256 KB footprint
+	// misses the L1 often, hits the L2 mostly after warmup.
+	cfg := config.Default()
+	dram := &stubBackend{lat: 130}
+	l2 := NewL2(&cfg, dram)
+	l1 := NewL1D(&cfg, l2)
+	r := rng.New(5)
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		addr := uint64(r.Intn(256<<10)) &^ 7
+		l1.Load(addr, 0x40, now)
+		now += 3
+	}
+	if l1.LoadMisses == 0 {
+		t.Fatal("working set larger than L1 never missed")
+	}
+	missRate := float64(l1.LoadMisses) / float64(l1.Loads)
+	if missRate < 0.05 {
+		t.Fatalf("L1 miss rate %.3f implausibly low for 256KB random footprint", missRate)
+	}
+	if l2.DemandHits == 0 {
+		t.Fatal("L2 never hit despite footprint fitting")
+	}
+}
+
+func TestOccRingSlotReuse(t *testing.T) {
+	o := newOccRing(8)
+	i1 := o.slot(5)
+	o.total[i1] = 2
+	// Revisiting the same cycle keeps the reservation.
+	if i2 := o.slot(5); o.total[i2] != 2 {
+		t.Fatal("slot reset on revisit of the same cycle")
+	}
+	// A different cycle mapping to the same index resets it.
+	far := int64(5 + o.window)
+	if i3 := o.slot(far); o.total[i3] != 0 {
+		t.Fatal("stale slot not reset for a new cycle")
+	}
+}
+
+func TestOccRingBankRowsIndependent(t *testing.T) {
+	o := newOccRing(8)
+	i := o.slot(100)
+	o.bankUse[i*8+3] = 1
+	j := o.slot(101)
+	if i == j {
+		t.Fatal("consecutive cycles mapped to the same slot")
+	}
+	if o.bankUse[j*8+3] != 0 {
+		t.Fatal("bank occupancy leaked across cycles")
+	}
+}
+
+func TestL1BacklogOverflowPanics(t *testing.T) {
+	// A single bank hammered beyond the occupancy window must panic
+	// (the core's watchdog would flag such a livelock first in practice).
+	cfg := config.Default()
+	cfg.BankedL1 = true
+	l := NewL1D(&cfg, &stubBackend{lat: 13})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbounded bank backlog did not panic")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		// All to bank 0, different sets, same submit cycle.
+		l.Load(uint64(i)*4096, 0x40, 0)
+	}
+}
+
+func TestL1ServiceNeverBeforeSubmit(t *testing.T) {
+	cfg := config.Default()
+	cfg.BankedL1 = true
+	l := NewL1D(&cfg, &stubBackend{lat: 13})
+	r := rng.New(3)
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		addr := uint64(r.Intn(64<<10)) &^ 7
+		res := l.Load(addr, 0x40, now)
+		if res.ServiceCycle < now {
+			t.Fatalf("service %d before submit %d", res.ServiceCycle, now)
+		}
+		if res.DataReady < res.ServiceCycle {
+			t.Fatalf("data ready %d before service %d", res.DataReady, res.ServiceCycle)
+		}
+		if res.HitKnown >= res.DataReady && !res.Merged && res.Hit {
+			t.Fatalf("hit signal at %d not before data at %d", res.HitKnown, res.DataReady)
+		}
+		if i%3 == 0 {
+			now++
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+	if c.IssueWidth != 6 || c.IQEntries != 60 || c.ROBEntries != 192 {
+		t.Fatalf("Default() does not match Table 1: %+v", c)
+	}
+	if c.L1D.Sets() != 64 {
+		t.Fatalf("L1D sets = %d, want 64 (32KB/8way/64B)", c.L1D.Sets())
+	}
+	if c.L2.Sets() != 1024 {
+		t.Fatalf("L2 sets = %d, want 1024 (1MB/16way/64B)", c.L2.Sets())
+	}
+}
+
+func TestAllPresetsValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if c.Name != name {
+			t.Fatalf("Preset(%q).Name = %q", name, c.Name)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownPreset(t *testing.T) {
+	if _, err := Preset("SpecSched_3"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestBranchPenaltyConstantAcrossDelays(t *testing.T) {
+	// §3.1: the frontend shrinks as the backend deepens so that the
+	// minimum misprediction penalty stays at 20 cycles.
+	base := Baseline(0)
+	basePathLen := base.FrontendDepth + base.ExecuteStageOffset()
+	for _, d := range []int{2, 4, 6} {
+		c := Baseline(d)
+		if got := c.FrontendDepth + c.ExecuteStageOffset(); got != basePathLen {
+			t.Fatalf("delay %d: frontend+backend = %d, want %d", d, got, basePathLen)
+		}
+	}
+}
+
+func TestExecuteStageOffset(t *testing.T) {
+	c := Baseline(4)
+	if c.ExecuteStageOffset() != 5 {
+		// The paper: with a 4-cycle delay, a µ-op issued at cycle 0
+		// executes at cycle 5.
+		t.Fatalf("ExecuteStageOffset = %d, want 5", c.ExecuteStageOffset())
+	}
+}
+
+func TestPresetFlags(t *testing.T) {
+	cases := []struct {
+		cfg    CoreConfig
+		spec   bool
+		banked bool
+		shift  bool
+		crit   bool
+		policy HitMissPolicy
+	}{
+		{Baseline(4), false, false, false, false, NeverHit},
+		{SpecSched(4, true), true, true, false, false, AlwaysHit},
+		{SpecSched(4, false), true, false, false, false, AlwaysHit},
+		{SpecSchedShift(4), true, true, true, false, AlwaysHit},
+		{SpecSchedCtr(4), true, true, false, false, GlobalCounter},
+		{SpecSchedFilter(4), true, true, false, false, FilterAndCounter},
+		{SpecSchedCombined(4), true, true, true, false, FilterAndCounter},
+		{SpecSchedCrit(4), true, true, true, true, FilterAndCounter},
+	}
+	for _, tc := range cases {
+		c := tc.cfg
+		if c.SpecSched != tc.spec || c.BankedL1 != tc.banked ||
+			c.ScheduleShifting != tc.shift || c.CriticalityGate != tc.crit ||
+			c.HitMiss != tc.policy {
+			t.Errorf("%s: flags mismatch: spec=%t banked=%t shift=%t crit=%t policy=%v",
+				c.Name, c.SpecSched, c.BankedL1, c.ScheduleShifting,
+				c.CriticalityGate, c.HitMiss)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*CoreConfig)
+	}{
+		{"negative delay", func(c *CoreConfig) { c.IssueToExecuteDelay = -1 }},
+		{"zero issue width", func(c *CoreConfig) { c.IssueWidth = 0 }},
+		{"zero IQ", func(c *CoreConfig) { c.IQEntries = 0 }},
+		{"zero LQ", func(c *CoreConfig) { c.LQEntries = 0 }},
+		{"tiny PRF", func(c *CoreConfig) { c.IntPRF = 10 }},
+		{"bad load capacity", func(c *CoreConfig) { c.MaxLoadsPerCycle = 3 }},
+		{"bad L1 geometry", func(c *CoreConfig) { c.L1D.SizeBytes = 1000 }},
+		{"bad bank count", func(c *CoreConfig) { c.BankedL1 = true; c.L1Banks = 6 }},
+		{"zero frontend", func(c *CoreConfig) { c.FrontendDepth = 0 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate did not report an error", m.name)
+		}
+	}
+}
+
+func TestSingleLoadPreset(t *testing.T) {
+	c := BaselineSingleLoad()
+	if c.MaxLoadsPerCycle != 1 {
+		t.Fatalf("MaxLoadsPerCycle = %d, want 1", c.MaxLoadsPerCycle)
+	}
+	got, err := Preset("Baseline_0_1ld")
+	if err != nil || got.MaxLoadsPerCycle != 1 {
+		t.Fatalf("Preset lookup of single-load baseline failed: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if !strings.Contains(AlwaysHit.String(), "hit") {
+		t.Error("AlwaysHit stringer")
+	}
+	if GlobalCounter.String() != "global-counter" {
+		t.Error("GlobalCounter stringer")
+	}
+	if RecoveryBuffer.String() != "recovery-buffer" {
+		t.Error("RecoveryBuffer stringer")
+	}
+	if IQRetention.String() != "iq-retention" {
+		t.Error("IQRetention stringer")
+	}
+	if WordInterleave.String() != "quadword" || SetInterleave.String() != "set" {
+		t.Error("Interleave stringer")
+	}
+}
+
+func TestDelaySweepNames(t *testing.T) {
+	for _, d := range []int{0, 2, 4, 6} {
+		if got := SpecSchedCrit(d).Name; got != strings.ReplaceAll("SpecSched_D_Crit", "D", itoa(d)) {
+			t.Fatalf("name = %q", got)
+		}
+	}
+}
+
+func itoa(d int) string { return string(rune('0' + d)) }

@@ -1,0 +1,239 @@
+// Package core implements the paper's contribution: a cycle-level model of
+// a 6-issue out-of-order superscalar with *speculative scheduling* — µ-ops
+// are issued IssueToExecuteDelay+1 cycles before they execute, dependents
+// of loads are woken assuming an L1 hit, and scheduling misspeculations
+// (L1 misses, L1 bank conflicts) squash the in-flight issue groups into a
+// recovery buffer that replays with priority over the scheduler (§3.1,
+// §4). On top of the baseline speculative scheduler it implements the
+// paper's three mitigations: Schedule Shifting (§5.1), hit/miss filtering
+// with a global counter and a per-PC filter (§5.2), and criticality-gated
+// wakeup (§5.3).
+package core
+
+import (
+	"fmt"
+
+	"specsched/internal/bpred"
+	"specsched/internal/cache"
+	"specsched/internal/config"
+	"specsched/internal/dram"
+	"specsched/internal/memdep"
+	"specsched/internal/predict"
+	"specsched/internal/regfile"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+	"specsched/internal/uop"
+)
+
+// redirectBubble is the fetch-redirect latency after a branch resolves,
+// calibrated together with FrontendDepth so the minimum misprediction
+// penalty matches the paper's 20 cycles.
+const redirectBubble = 2
+
+// dramAdapter exposes the DRAM model through the cache.MemBackend
+// interface.
+type dramAdapter struct{ d *dram.DRAM }
+
+func (a dramAdapter) Access(addr, pc uint64, now int64, write bool) int64 {
+	return a.d.Access(addr, now, write)
+}
+
+// Core is one simulated processor running one workload. It is not safe for
+// concurrent use; run one Core per goroutine.
+type Core struct {
+	cfg config.CoreConfig
+
+	// Substrates.
+	tage   *bpred.TAGE
+	btb    *bpred.BTB
+	ss     *memdep.StoreSets
+	l1     *cache.L1D
+	l2     *cache.L2
+	mem    *dram.DRAM
+	rmap   *regfile.RenameMap
+	gctr   *predict.GlobalCounter
+	filter *predict.Filter
+	crit   *predict.Criticality
+	bankp  *predict.BankPredictor
+
+	stream uop.Stream
+	wp     *trace.WrongPath
+
+	cycle int64
+
+	// Physical register scoreboard. specReady is the cycle at which the
+	// scheduler may select consumers; actReady the cycle the value is on
+	// the bypass network at the Execute stage.
+	specReady []int64
+	actReady  []int64
+
+	// Windows. rob is a FIFO (index 0 = head = oldest).
+	rob      []*inst
+	iq       []*inst
+	iqCount  int
+	lq       []*inst
+	sq       []*inst
+	recovery []*inst
+	inflight []*inst // issued, not yet executed
+
+	frontQ    []*inst
+	refetchQ  []uop.UOp
+	wrongPath bool
+	nextDynID int64
+
+	fetchResume int64 // no fetch before this cycle
+	issueBlock  int64 // issue blocked at exactly this cycle (replay handling)
+
+	events []replayEvent
+
+	// Unpipelined units: earliest next issue cycle.
+	divFree   int64
+	fpDivFree [2]int64
+
+	// loadBanksThisCycle records the predicted banks of loads issued in
+	// the current cycle (bank-predictor Shifting variant).
+	loadBanksThisCycle []int
+
+	// pool recycles inst allocations; graveyard holds squashed entries
+	// until the next cycle boundary so no in-flight iteration can observe
+	// a recycled instruction.
+	pool      []*inst
+	graveyard []*inst
+
+	// Measurement.
+	run           *stats.Run
+	committed     int64 // total committed µ-ops since construction
+	lastCommitted int64 // deadlock watchdog
+	lastProgress  int64
+
+	// CommitHook, when non-nil, is invoked for every retiring µ-op in
+	// commit order — the architectural instruction stream. Used by tests
+	// (commit-order invariants) and tools (trace dumping).
+	CommitHook func(u uop.UOp)
+
+	// missThisCycle and loadThisCycle feed the Alpha global counter: it
+	// is decremented by two on cycles where an L1 miss takes place and
+	// incremented by one on other cycles with cache activity. Ticking it
+	// on load-free cycles would let sparse misses (low-IPC memory-bound
+	// phases) saturate it high, defeating the mechanism the paper
+	// evaluates, so idle cycles leave it untouched.
+	missThisCycle bool
+	loadThisCycle bool
+}
+
+// New builds a core with the given configuration running the given µ-op
+// stream. wpSeed seeds the wrong-path filler generator.
+func New(cfg config.CoreConfig, stream uop.Stream, wpSeed uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:    cfg,
+		stream: stream,
+		wp:     trace.NewWrongPath(wpSeed, 4<<10),
+		tage:   bpred.NewTAGE(&cfg),
+		btb:    bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ss:     memdep.New(1024, 1024),
+		mem:    dram.New(cfg.DRAM),
+		rmap:   regfile.New(cfg.IntPRF, cfg.FPPRF),
+		gctr:   predict.NewGlobalCounter(),
+		filter: predict.NewFilter(cfg.FilterEntries, cfg.FilterResetInterval, cfg.FilterNoSilence),
+		crit:   predict.NewCriticality(cfg.CritEntries, cfg.CritCtrBits),
+		bankp:  predict.NewBankPredictor(max(cfg.BankPredEntries, 64)),
+		run:    &stats.Run{Workload: "?", Config: cfg.Name},
+	}
+	c.l2 = cache.NewL2(&cfg, dramAdapter{c.mem})
+	c.l1 = cache.NewL1D(&cfg, c.l2)
+	n := c.rmap.TotalPhys()
+	c.specReady = make([]int64, n)
+	c.actReady = make([]int64, n)
+	c.issueBlock = -1
+	return c, nil
+}
+
+// MustNew is New for known-good configurations (presets); it panics on
+// configuration errors.
+func MustNew(cfg config.CoreConfig, stream uop.Stream, wpSeed uint64) *Core {
+	c, err := New(cfg, stream, wpSeed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetWorkloadName labels the statistics record.
+func (c *Core) SetWorkloadName(name string) { c.run.Workload = name }
+
+// Stats returns the live statistics record for the current measurement
+// window.
+func (c *Core) Stats() *stats.Run { return c.run }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// delay returns the issue-to-execute delay D.
+func (c *Core) delay() int64 { return int64(c.cfg.IssueToExecuteDelay) }
+
+// Step advances the simulation by one cycle. Pipeline phases run in
+// reverse order so each stage consumes the previous cycle's products.
+func (c *Core) Step() {
+	if len(c.graveyard) > 0 {
+		c.pool = append(c.pool, c.graveyard...)
+		c.graveyard = c.graveyard[:0]
+	}
+	c.commit()
+	c.missThisCycle = false
+	c.loadThisCycle = false
+	c.execute()
+	if c.loadThisCycle {
+		c.gctr.Tick(c.missThisCycle)
+	}
+	c.processEvents()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.run.Cycles++
+	c.run.IQOccupancySum += int64(c.iqCount)
+	c.run.ROBOccupancySum += int64(len(c.rob))
+	c.cycle++
+}
+
+// Run simulates until warmup µ-ops have committed, resets the statistics,
+// then simulates until measure more µ-ops commit, and returns the
+// measurement window's statistics.
+func (c *Core) Run(warmup, measure int64) *stats.Run {
+	c.runUntil(c.committed + warmup)
+	c.ResetStats()
+	c.runUntil(c.committed + measure)
+	return c.run
+}
+
+// ResetStats zeroes the statistics record while keeping all architectural
+// and microarchitectural state (used at the warmup/measure boundary).
+func (c *Core) ResetStats() {
+	name, cfgName := c.run.Workload, c.run.Config
+	*c.run = stats.Run{Workload: name, Config: cfgName}
+}
+
+func (c *Core) runUntil(targetCommitted int64) {
+	c.lastProgress = c.cycle
+	for c.committed < targetCommitted {
+		c.Step()
+		if c.committed != c.lastCommitted {
+			c.lastCommitted = c.committed
+			c.lastProgress = c.cycle
+		} else if c.cycle-c.lastProgress > 500000 {
+			panic(fmt.Sprintf("core: no commit for 500000 cycles (cycle %d, committed %d, rob %d, iq %d, buffer %d, head %s)",
+				c.cycle, c.committed, len(c.rob), c.iqCount, len(c.recovery), c.describeHead()))
+		}
+	}
+}
+
+func (c *Core) describeHead() string {
+	if len(c.rob) == 0 {
+		return "<empty rob>"
+	}
+	e := c.rob[0]
+	return fmt.Sprintf("%s issued=%t executed=%t done=%d buffer=%t",
+		e.u.String(), e.issued, e.executed, e.doneCycle, e.inBuffer)
+}

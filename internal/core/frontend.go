@@ -1,0 +1,165 @@
+package core
+
+import (
+	"specsched/internal/uop"
+)
+
+// fetch models the in-order front end: up to FetchWidth µ-ops per cycle
+// enter a delay queue of FrontendDepth cycles (the paper's 15−D-cycle
+// front end). Conditional branches are predicted here (TAGE direction, BTB
+// target); a misprediction switches the fetch source to the wrong-path
+// generator until the branch resolves.
+func (c *Core) fetch() {
+	if c.cycle < c.fetchResume {
+		return
+	}
+	capacity := c.cfg.FrontendDepth*c.cfg.FetchWidth + c.cfg.FetchWidth
+	budget := c.cfg.FetchWidth
+	for budget > 0 && len(c.frontQ) < capacity {
+		var u uop.UOp
+		switch {
+		case c.wrongPath:
+			u = c.wp.Next()
+		case len(c.refetchQ) > 0:
+			u = c.refetchQ[0]
+			c.refetchQ = c.refetchQ[1:]
+		default:
+			var ok bool
+			u, ok = c.stream.Next()
+			if !ok {
+				return
+			}
+		}
+		e := c.newInst()
+		e.u = u
+		e.dynID = c.nextDynID
+		e.readyAt = c.cycle + int64(c.cfg.FrontendDepth)
+		c.nextDynID++
+		budget--
+
+		if e.isBranch() {
+			c.predictBranch(e)
+			// A predicted-taken branch ends the fetch group (one taken
+			// branch per cycle, §3.1).
+			if e.predTaken {
+				budget = 0
+			}
+		}
+		c.frontQ = append(c.frontQ, e)
+	}
+}
+
+// newInst returns a zeroed instruction record, recycling retired and
+// squashed ones.
+func (c *Core) newInst() *inst {
+	var e *inst
+	if n := len(c.pool); n > 0 {
+		e = c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		*e = inst{}
+	} else {
+		e = &inst{}
+	}
+	e.memDepID = -1
+	e.destPhys = -1
+	e.oldPhys = -1
+	e.becameHead = -1
+	return e
+}
+
+// predictBranch runs the front-end predictors for a conditional branch and
+// decides whether fetch must divert to the wrong path.
+func (c *Core) predictBranch(e *inst) {
+	e.snap = c.tage.Snapshot()
+	e.pred = c.tage.Predict(e.u.PC)
+	e.predTaken = e.pred.Taken
+	if e.predTaken {
+		if tgt, ok := c.btb.Lookup(e.u.PC); ok {
+			e.predTarget = tgt
+		} else {
+			// Predicted taken but no target known: the front end can
+			// only continue sequentially.
+			e.predTaken = false
+		}
+	}
+	if !e.predTaken {
+		// Fall-through: correct exactly when the branch is not taken.
+		e.predTarget = e.u.Target
+		if e.u.Taken {
+			e.predTarget = 0 // definitely wrong; any non-target value
+		}
+	}
+	// Speculative history update with the predicted direction.
+	c.tage.UpdateHistory(e.predTaken)
+
+	e.mispred = e.predTaken != e.u.Taken ||
+		(e.predTaken && e.predTarget != e.u.Target)
+	if e.mispred && !e.u.WrongPath {
+		c.wrongPath = true
+	}
+}
+
+// dispatch renames and inserts into the window up to RenameWidth µ-ops
+// that have traversed the front end, stopping at the first structural
+// hazard (ROB/IQ/LQ/SQ/PRF full).
+func (c *Core) dispatch() {
+	width := c.cfg.RenameWidth
+	for width > 0 && len(c.frontQ) > 0 {
+		e := c.frontQ[0]
+		if e.readyAt > c.cycle {
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBEntries || c.iqCount >= c.cfg.IQEntries {
+			return
+		}
+		if e.isLoad() && len(c.lq) >= c.cfg.LQEntries {
+			return
+		}
+		if e.isStore() && len(c.sq) >= c.cfg.SQEntries {
+			return
+		}
+		if e.u.HasDest() && !c.rmap.CanRename(e.u.Dest) {
+			return
+		}
+		c.frontQ = c.frontQ[1:]
+		width--
+		c.rename(e)
+		c.rob = append(c.rob, e)
+		c.iq = append(c.iq, e)
+		e.inIQ = true
+		c.iqCount++
+		switch {
+		case e.isLoad():
+			c.lq = append(c.lq, e)
+			if dep, ok := c.ss.RenameLoad(e.u.PC); ok {
+				e.memDepID = dep
+			}
+		case e.isStore():
+			c.sq = append(c.sq, e)
+			if dep, ok := c.ss.RenameStore(e.u.PC, e.dynID); ok {
+				e.memDepID = dep
+			}
+		}
+	}
+}
+
+// rename maps the µ-op's architectural registers onto physical ones.
+func (c *Core) rename(e *inst) {
+	e.src1Phys, e.src2Phys = -1, -1
+	if e.u.Src1 != uop.RegNone {
+		e.src1Phys = c.rmap.Lookup(e.u.Src1)
+	}
+	if e.u.Src2 != uop.RegNone {
+		e.src2Phys = c.rmap.Lookup(e.u.Src2)
+	}
+	if e.u.HasDest() {
+		newP, oldP, ok := c.rmap.Rename(e.u.Dest)
+		if !ok {
+			panic("core: rename called without a free physical register")
+		}
+		e.destPhys, e.oldPhys = newP, oldP
+		c.specReady[newP] = infinity
+		c.actReady[newP] = infinity
+	}
+	e.renamed = true
+}

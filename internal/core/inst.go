@@ -1,0 +1,104 @@
+package core
+
+import (
+	"specsched/internal/bpred"
+	"specsched/internal/cache"
+	"specsched/internal/uop"
+)
+
+// infinity is the "not ready / unknown" sentinel for scoreboard cycles.
+const infinity = int64(1) << 60
+
+// inst is one dynamic µ-op in flight, from fetch to retirement. It carries
+// all per-instruction pipeline state; the core's structures (frontend
+// queue, ROB, IQ, LSQ, recovery buffer, issue-to-execute latches) hold
+// pointers into a single allocation per dynamic µ-op.
+type inst struct {
+	u uop.UOp
+	// dynID is the core-local dynamic ordering id (allocated at fetch,
+	// monotone; wrong-path µ-ops get ids too, unlike u.Seq).
+	dynID int64
+
+	readyAt int64 // frontend: cycle the µ-op reaches rename
+
+	// Rename state.
+	renamed            bool
+	src1Phys, src2Phys int
+	destPhys, oldPhys  int
+
+	// Memory dependence (Store Sets): dynID of the store this µ-op must
+	// order after, or -1.
+	memDepID int64
+
+	// Scheduler state.
+	inIQ     bool // occupies an IQ entry
+	inBuffer bool // sits in the recovery buffer awaiting replay
+	issued   bool // in the issue-to-execute latches
+	executed bool
+
+	issueCycle  int64
+	execCycle   int64
+	doneCycle   int64 // result on the bypass network
+	timesIssued int
+
+	// Speculative-scheduling state (loads).
+	specWoken bool  // dependents were woken assuming an L1 hit
+	shifted   bool  // Schedule Shifting added one cycle to the promise
+	promise   int64 // specReady value published for the destination
+	loadRes   cache.LoadResult
+	loadHit   bool // L1 hit (or store forward) — trains the filter
+	loadDone  bool
+	forwarded bool
+
+	// Branch state.
+	pred       bpred.Prediction
+	snap       bpred.Snapshot
+	predTaken  bool
+	predTarget uint64
+	mispred    bool
+
+	// Store state.
+	storeDone bool
+
+	// Retirement bookkeeping.
+	becameHead int64 // cycle this entry became the ROB head
+	squashed   bool
+}
+
+func (e *inst) isLoad() bool   { return e.u.Class == uop.ClassLoad }
+func (e *inst) isStore() bool  { return e.u.Class == uop.ClassStore }
+func (e *inst) isBranch() bool { return e.u.Class == uop.ClassBranch }
+func (e *inst) isMem() bool    { return e.u.Class.IsMem() }
+
+// quadword returns the 8-byte-aligned address unit used for forwarding and
+// violation detection.
+func (e *inst) quadword() uint64 { return e.u.Addr >> 3 }
+
+// replayCause labels a scheduling-replay trigger.
+type replayCause uint8
+
+const (
+	causeBank replayCause = iota
+	causeMiss
+)
+
+func (c replayCause) String() string {
+	if c == causeBank {
+		return "bank-conflict"
+	}
+	return "l1-miss"
+}
+
+// replayEvent is a pending schedule-misspeculation: at cycle detect, the
+// in-flight issue groups are squashed into the recovery buffer and the
+// load's destination is re-promised at reviseTo. A load that is both
+// bank-delayed and missing raises two events — the conflict is discovered
+// at arbitration and re-promises assuming a (delayed) hit; the miss is
+// discovered when the hit signal arrives and re-promises with the true
+// fill time — reproducing the paper's repeated-replay behaviour.
+type replayEvent struct {
+	detect   int64
+	reviseTo int64
+	cause    replayCause
+	load     *inst
+}

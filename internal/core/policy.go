@@ -1,0 +1,76 @@
+package core
+
+import (
+	"specsched/internal/config"
+	"specsched/internal/predict"
+)
+
+// allowSpecWakeup implements the paper's hit/miss arbitration: may this
+// load wake its dependents speculatively (assuming an L1 hit)?
+//
+//   - Always Hit (SpecSched_*): yes, unconditionally.
+//   - Global counter (§5.2, SpecSched_*_Ctr): the Alpha 21264's 4-bit
+//     counter MSB decides.
+//   - Filter + counter (§5.2, SpecSched_*_Filter): a per-PC sure-hit wakes,
+//     a sure-miss stalls, and silenced/unknown entries defer to the global
+//     counter.
+//   - Criticality gating (§5.3, SpecSched_*_Crit): unless the filter says
+//     sure-hit, dependents of a non-critical load are never woken
+//     speculatively; critical loads fall through to the global counter.
+func (c *Core) allowSpecWakeup(e *inst) bool {
+	if !c.cfg.SpecSched {
+		return false
+	}
+	switch c.cfg.HitMiss {
+	case config.NeverHit:
+		return false
+	case config.AlwaysHit:
+		if c.cfg.CriticalityGate && !c.crit.Critical(e.u.PC) {
+			return false
+		}
+		return true
+	case config.GlobalCounter:
+		if c.cfg.CriticalityGate && !c.crit.Critical(e.u.PC) {
+			return false
+		}
+		return c.gctr.SpeculateHit()
+	case config.FilterAndCounter:
+		switch c.filter.Predict(e.u.PC) {
+		case predict.FilterSureHit:
+			return true
+		case predict.FilterSureMiss:
+			return false
+		default:
+			if c.cfg.CriticalityGate && !c.crit.Critical(e.u.PC) {
+				return false
+			}
+			return c.gctr.SpeculateHit()
+		}
+	default:
+		return false
+	}
+}
+
+// shiftSecondLoad decides whether a load issued as the non-first load of
+// its group gets the one-cycle Schedule Shifting slack. Plain Shifting
+// (§5.1) always shifts; the bank-predictor variant shifts only when this
+// load is predicted to collide with a load already issued this cycle.
+func (c *Core) shiftSecondLoad(e *inst) bool {
+	if c.cfg.ScheduleShifting {
+		return true
+	}
+	if !c.cfg.BankPredictShift {
+		return false
+	}
+	bank, conf := c.bankp.Predict(e.u.PC)
+	if !conf {
+		// Unknown bank: shift conservatively, like plain Shifting.
+		return true
+	}
+	for _, b := range c.loadBanksThisCycle {
+		if b == bank {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,456 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3-§5): Table 2's per-benchmark IPCs, Fig. 3's conservative
+// scheduling slowdown, Fig. 4's speculative scheduling with dual-ported vs
+// banked L1 plus the replayed-µ-op breakdown, Fig. 5's Schedule Shifting,
+// Fig. 7's hit/miss filtering, Fig. 8's Combined/Crit results, and the
+// §5.3 delay sweep. The same runners back cmd/experiments and the
+// repository's benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+)
+
+// Options controls simulation length and scope. The paper simulates 50M
+// warmup + 100M measured instructions per run; the defaults here are scaled
+// down ~1000x so the full matrix completes on a laptop (see DESIGN.md §2).
+type Options struct {
+	Warmup  int64
+	Measure int64
+	// Workloads restricts the benchmark list (nil = the full Table 2
+	// suite).
+	Workloads []string
+	// Parallel bounds worker goroutines (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// Defaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Warmup <= 0 {
+		o.Warmup = 10000
+	}
+	if o.Measure <= 0 {
+		o.Measure = 60000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = trace.ProfileNames()
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Runner executes (configuration × workload) simulations, caching results
+// so figures sharing configurations (every figure needs Baseline_0) run
+// each simulation exactly once.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*stats.Run
+}
+
+// NewRunner constructs a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.withDefaults(), cache: make(map[string]*stats.Run)}
+}
+
+// Opts returns the effective options.
+func (r *Runner) Opts() Options { return r.opts }
+
+func key(cfg, wl string) string { return cfg + "\x00" + wl }
+
+// Collect ensures every (config, workload) pair has run and returns the
+// populated set. Missing pairs execute in parallel.
+func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
+	type job struct {
+		cfg config.CoreConfig
+		wl  string
+	}
+	var jobs []job
+	r.mu.Lock()
+	for _, cn := range cfgNames {
+		cfg, err := config.Preset(cn)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		for _, wl := range r.opts.Workloads {
+			if _, ok := r.cache[key(cn, wl)]; !ok {
+				r.cache[key(cn, wl)] = nil // reserve
+				jobs = append(jobs, job{cfg, wl})
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	if len(jobs) > 0 {
+		sem := make(chan struct{}, r.opts.Parallel)
+		var wg sync.WaitGroup
+		errs := make(chan error, len(jobs))
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				p, err := trace.ByName(j.wl)
+				if err != nil {
+					errs <- err
+					return
+				}
+				c, err := core.New(j.cfg, trace.New(p), p.Seed)
+				if err != nil {
+					errs <- err
+					return
+				}
+				c.SetWorkloadName(j.wl)
+				run := c.Run(r.opts.Warmup, r.opts.Measure)
+				r.mu.Lock()
+				r.cache[key(j.cfg.Name, j.wl)] = run
+				r.mu.Unlock()
+			}(j)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+
+	set := stats.NewSet()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cn := range cfgNames {
+		for _, wl := range r.opts.Workloads {
+			if run := r.cache[key(cn, wl)]; run != nil {
+				set.Add(run)
+			}
+		}
+	}
+	return set, nil
+}
+
+// baselineName is the normalization baseline used throughout §5: the
+// zero-delay machine with a dual-ported L1D.
+const baselineName = "Baseline_0"
+
+// perfTable renders per-workload IPC normalized to Baseline_0 for the given
+// configs, with a gmean row — the format of Figs. 3, 4a, 5a, 7a, 8a.
+func perfTable(title string, set *stats.Set, cfgs []string) string {
+	header := append([]string{"workload"}, cfgs...)
+	tb := stats.NewTable(title, header...)
+	for _, wl := range set.Workloads() {
+		base := set.Get(baselineName, wl)
+		if base == nil {
+			continue
+		}
+		cells := []interface{}{wl}
+		for _, cn := range cfgs {
+			if run := set.Get(cn, wl); run != nil {
+				cells = append(cells, stats.Speedup(run, base))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		tb.AddRowf(3, cells...)
+	}
+	gm := []interface{}{"gmean"}
+	for _, cn := range cfgs {
+		gm = append(gm, set.GMeanSpeedup(cn, baselineName))
+	}
+	tb.AddRowf(3, gm...)
+	return tb.String()
+}
+
+// replayTable renders the issued-µ-op breakdown normalized to Baseline_0's
+// issued count — the format of Figs. 4b, 5b, 7b, 8b: Unique, RpldMiss,
+// RpldBank per configuration.
+func replayTable(title string, set *stats.Set, cfgs []string) string {
+	header := []string{"workload"}
+	for _, cn := range cfgs {
+		short := strings.TrimPrefix(cn, "SpecSched_")
+		header = append(header, short+":uniq", short+":rpldM", short+":rpldB")
+	}
+	tb := stats.NewTable(title, header...)
+	addRow := func(label string, get func(cfg string) (uniq, rm, rb, base float64)) {
+		cells := []interface{}{label}
+		for _, cn := range cfgs {
+			uniq, rm, rb, base := get(cn)
+			if base == 0 {
+				cells = append(cells, "-", "-", "-")
+				continue
+			}
+			cells = append(cells, uniq/base, rm/base, rb/base)
+		}
+		tb.AddRowf(3, cells...)
+	}
+	for _, wl := range set.Workloads() {
+		base := set.Get(baselineName, wl)
+		if base == nil {
+			continue
+		}
+		wl := wl
+		addRow(wl, func(cfg string) (float64, float64, float64, float64) {
+			run := set.Get(cfg, wl)
+			if run == nil {
+				return 0, 0, 0, 0
+			}
+			return float64(run.Unique), float64(run.ReplayedMiss),
+				float64(run.ReplayedBank), float64(base.Issued)
+		})
+	}
+	addRow("total", func(cfg string) (float64, float64, float64, float64) {
+		var u, m, bk, bi int64
+		for _, wl := range set.Workloads() {
+			run, base := set.Get(cfg, wl), set.Get(baselineName, wl)
+			if run == nil || base == nil {
+				continue
+			}
+			u += run.Unique
+			m += run.ReplayedMiss
+			bk += run.ReplayedBank
+			bi += base.Issued
+		}
+		return float64(u), float64(m), float64(bk), float64(bi)
+	})
+	return tb.String()
+}
+
+// Table1 renders the simulator configuration overview (no simulation).
+func Table1() string {
+	cfg := config.Default()
+	tb := stats.NewTable("Table 1: simulator configuration", "component", "value")
+	rows := [][2]string{
+		{"frontend", fmt.Sprintf("%d-wide fetch/decode/rename, %d-cycle frontend (Baseline_0)", cfg.FetchWidth, cfg.FrontendDepth)},
+		{"branch pred", fmt.Sprintf("TAGE 1+%d components, 2-way %dK-entry BTB, %d-entry RAS, %d-cycle min. penalty", cfg.TAGEComponents, cfg.BTBEntries/1024, cfg.RASEntries, cfg.MinBranchPenalty)},
+		{"window", fmt.Sprintf("%d-entry ROB, %d-entry unified IQ, %d/%d-entry LQ/SQ", cfg.ROBEntries, cfg.IQEntries, cfg.LQEntries, cfg.SQEntries)},
+		{"registers", fmt.Sprintf("%d INT / %d FP physical registers", cfg.IntPRF, cfg.FPPRF)},
+		{"issue", fmt.Sprintf("%d-issue; %dxALU(1c) %dxMulDiv(3c/25c*) %dxFP(3c) %dxFPMulDiv(5c/10c*) %dxLd/St (max %d loads, %d store)", cfg.IssueWidth, cfg.NumALU, cfg.NumMulDiv, cfg.NumFP, cfg.NumFPMulDiv, cfg.NumLdStPorts, cfg.MaxLoadsPerCycle, cfg.MaxStoresPerCycle)},
+		{"memdep", "1K-SSID/LFST Store Sets"},
+		{"L1D", fmt.Sprintf("%dKB %d-way, %d-cycle load-to-use, %d MSHRs, %d banks (%s-interleaved), SLB", cfg.L1D.SizeBytes>>10, cfg.L1D.Ways, cfg.L1D.Latency, cfg.L1D.MSHRs, cfg.L1Banks, cfg.L1Interleave)},
+		{"L2", fmt.Sprintf("%dMB %d-way, %d cycles, %d MSHRs, stride prefetcher degree %d", cfg.L2.SizeBytes>>20, cfg.L2.Ways, cfg.L2.Latency, cfg.L2.MSHRs, cfg.PrefetchDegree)},
+		{"DRAM", fmt.Sprintf("DDR3-1600 (%d-%d-%d), %d ranks x %d banks, %dKB rows; min/max read %d/%d cycles", cfg.DRAM.TRCD, cfg.DRAM.TCAS, cfg.DRAM.TRP, cfg.DRAM.Ranks, cfg.DRAM.BanksPerRank, cfg.DRAM.RowBytes>>10, 75, 185)},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1])
+	}
+	return tb.String() + "*divides unpipelined\n"
+}
+
+// Table2 runs Baseline_0 on the full suite and reports measured IPC next to
+// the paper's Table 2 value.
+func (r *Runner) Table2() (string, error) {
+	set, err := r.Collect(baselineName)
+	if err != nil {
+		return "", err
+	}
+	tb := stats.NewTable("Table 2: benchmarks (Baseline_0)",
+		"workload", "IPC", "paper IPC", "L1 miss", "MPKI")
+	for _, wl := range set.Workloads() {
+		run := set.Get(baselineName, wl)
+		p, _ := trace.ByName(wl)
+		tb.AddRowf(3, wl, run.IPC(), p.PaperIPC, run.L1MissRate(), run.MPKI())
+	}
+	return tb.String(), nil
+}
+
+// Fig3 reproduces the conservative-scheduling slowdown: Baseline_0 with a
+// single load port, and Baseline_{2,4,6}, normalized to Baseline_0.
+func (r *Runner) Fig3() (string, error) {
+	cfgs := []string{"Baseline_0_1ld", "Baseline_2", "Baseline_4", "Baseline_6"}
+	set, err := r.Collect(append(cfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	return perfTable("Fig 3: slowdown without speculative scheduling (vs Baseline_0)",
+		set, cfgs), nil
+}
+
+// Fig4 reproduces speculative scheduling across delays with dual-ported
+// vs banked L1 (a) and the replayed-µ-op breakdown for the banked case (b).
+func (r *Runner) Fig4() (string, error) {
+	perfCfgs := []string{
+		"SpecSched_2_dual", "SpecSched_2",
+		"SpecSched_4_dual", "SpecSched_4",
+		"SpecSched_6_dual", "SpecSched_6",
+	}
+	set, err := r.Collect(append(perfCfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	a := perfTable("Fig 4a: SpecSched performance, dual-ported vs banked L1 (vs Baseline_0)",
+		set, perfCfgs)
+	b := replayTable("Fig 4b: issued µ-ops breakdown, banked L1 (normalized to Baseline_0 issued)",
+		set, []string{"SpecSched_2", "SpecSched_4", "SpecSched_6"})
+	return a + "\n" + b, nil
+}
+
+// Fig5 reproduces Schedule Shifting on SpecSched_4 with a banked L1.
+func (r *Runner) Fig5() (string, error) {
+	cfgs := []string{"SpecSched_4", "SpecSched_4_Shift"}
+	set, err := r.Collect(append(cfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	a := perfTable("Fig 5a: Schedule Shifting (vs Baseline_0)", set, cfgs)
+	b := replayTable("Fig 5b: replayed µ-ops with Schedule Shifting", set, cfgs)
+	red := set.ReductionVs("SpecSched_4_Shift", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.ReplayedBank })
+	sp := set.GMeanSpeedup("SpecSched_4_Shift", "SpecSched_4")
+	s := fmt.Sprintf("\nbank-conflict replays removed by Shifting: %.1f%% (paper: 74.8%%)\n"+
+		"speedup over SpecSched_4: %+.1f%% (paper: +2.9%%)\n", 100*red, 100*(sp-1))
+	return a + "\n" + b + s, nil
+}
+
+// Fig7 reproduces hit/miss filtering: the global counter alone and the
+// per-PC filter backed by the counter.
+func (r *Runner) Fig7() (string, error) {
+	cfgs := []string{"SpecSched_4", "SpecSched_4_Ctr", "SpecSched_4_Filter"}
+	set, err := r.Collect(append(cfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	a := perfTable("Fig 7a: hit/miss filtering (vs Baseline_0)", set, cfgs)
+	b := replayTable("Fig 7b: replayed µ-ops with hit/miss filtering", set, cfgs)
+	missRed := func(cfg string) float64 {
+		return set.ReductionVs(cfg, "SpecSched_4",
+			func(run *stats.Run) int64 { return run.ReplayedMiss })
+	}
+	totRed := func(cfg string) float64 {
+		return set.ReductionVs(cfg, "SpecSched_4",
+			func(run *stats.Run) int64 { return run.Replayed() })
+	}
+	s := fmt.Sprintf("\nmiss replays removed: Ctr %.1f%% (paper: 59.3%%), Filter %.1f%% (paper: 65.0%%)\n"+
+		"total replays removed: Ctr %.1f%% (paper: 44.7%%), Filter %.1f%% (paper: 45.4%%)\n",
+		100*missRed("SpecSched_4_Ctr"), 100*missRed("SpecSched_4_Filter"),
+		100*totRed("SpecSched_4_Ctr"), 100*totRed("SpecSched_4_Filter"))
+	return a + "\n" + b + s, nil
+}
+
+// Fig8 reproduces the combined mechanisms and criticality gating.
+func (r *Runner) Fig8() (string, error) {
+	cfgs := []string{"SpecSched_4", "SpecSched_4_Combined", "SpecSched_4_Crit"}
+	set, err := r.Collect(append(cfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	a := perfTable("Fig 8a: Combined and Crit (vs Baseline_0)", set, cfgs)
+	b := replayTable("Fig 8b: replayed µ-ops, Combined and Crit", set, cfgs)
+	totRed := func(cfg string) float64 {
+		return set.ReductionVs(cfg, "SpecSched_4",
+			func(run *stats.Run) int64 { return run.Replayed() })
+	}
+	sp := func(cfg string) float64 { return set.GMeanSpeedup(cfg, "SpecSched_4") }
+	issRed := func(cfg string) float64 {
+		return set.ReductionVs(cfg, "SpecSched_4",
+			func(run *stats.Run) int64 { return run.Issued })
+	}
+	s := fmt.Sprintf("\nreplays removed: Combined %.1f%% (paper: 68.2%%), Crit %.1f%% (paper: 90.6%%)\n"+
+		"speedup over SpecSched_4: Combined %+.1f%% (paper: +3.7%%), Crit %+.1f%% (paper: +3.4%%)\n"+
+		"issued µ-ops reduced: Combined %.1f%% (paper: 11.6%%), Crit %.1f%% (paper: 13.4%%)\n",
+		100*totRed("SpecSched_4_Combined"), 100*totRed("SpecSched_4_Crit"),
+		100*(sp("SpecSched_4_Combined")-1), 100*(sp("SpecSched_4_Crit")-1),
+		100*issRed("SpecSched_4_Combined"), 100*issRed("SpecSched_4_Crit"))
+	return a + "\n" + b + s, nil
+}
+
+// DelaySweep reports the §5.3 text numbers: SpecSched_{2,6}_Crit replay and
+// issue reductions relative to SpecSched_{2,6}.
+func (r *Runner) DelaySweep() (string, error) {
+	cfgs := []string{"SpecSched_2", "SpecSched_2_Crit", "SpecSched_6", "SpecSched_6_Crit"}
+	set, err := r.Collect(append(cfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "== §5.3 delay sweep: SpecSched_N_Crit vs SpecSched_N ==")
+	for _, d := range []string{"2", "6"} {
+		base, crit := "SpecSched_"+d, "SpecSched_"+d+"_Crit"
+		replRed := set.ReductionVs(crit, base, func(run *stats.Run) int64 { return run.Replayed() })
+		issRed := set.ReductionVs(crit, base, func(run *stats.Run) int64 { return run.Issued })
+		sp := set.GMeanSpeedup(crit, base)
+		paperIss, paperSp := "11.2%", "+2.3%"
+		if d == "6" {
+			paperIss, paperSp = "18.7%", "+4.8%"
+		}
+		fmt.Fprintf(&b, "delay %s: replays -%.1f%% (paper: ~90%%), issued -%.1f%% (paper: %s), speedup %+.1f%% (paper: %s)\n",
+			d, 100*replRed, 100*issRed, paperIss, 100*(sp-1), paperSp)
+	}
+	return b.String(), nil
+}
+
+// Summary reports the paper's headline numbers for SpecSched_4_Crit.
+func (r *Runner) Summary() (string, error) {
+	cfgs := []string{"SpecSched_4", "SpecSched_4_Shift", "SpecSched_4_Filter",
+		"SpecSched_4_Combined", "SpecSched_4_Crit"}
+	set, err := r.Collect(append(cfgs, baselineName)...)
+	if err != nil {
+		return "", err
+	}
+	bankRed := set.ReductionVs("SpecSched_4_Crit", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.ReplayedBank })
+	missRed := set.ReductionVs("SpecSched_4_Crit", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.ReplayedMiss })
+	totRed := set.ReductionVs("SpecSched_4_Crit", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.Replayed() })
+	issRed := set.ReductionVs("SpecSched_4_Crit", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.Issued })
+	sp := set.GMeanSpeedup("SpecSched_4_Crit", "SpecSched_4")
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Headline results (SpecSched_4_Crit vs SpecSched_4, 4-cycle issue-to-execute) ==")
+	fmt.Fprintf(&b, "bank-conflict replays avoided: %.1f%%  (paper: 78.0%%)\n", 100*bankRed)
+	fmt.Fprintf(&b, "L1-miss replays avoided:       %.1f%%  (paper: 96.5%%)\n", 100*missRed)
+	fmt.Fprintf(&b, "all replays avoided:           %.1f%%  (paper: 90.6%%)\n", 100*totRed)
+	fmt.Fprintf(&b, "issued µ-ops reduced:          %.1f%%  (paper: 13.4%%)\n", 100*issRed)
+	fmt.Fprintf(&b, "performance:                   %+.1f%% (paper: +3.4%%)\n", 100*(sp-1))
+	return b.String(), nil
+}
+
+// Names lists the experiment identifiers understood by Run.
+func Names() []string {
+	return []string{"table1", "table2", "fig3", "fig4", "fig5", "fig7", "fig8",
+		"delays", "summary", "ablations", "replayschemes"}
+}
+
+// Run executes one named experiment and returns its report.
+func (r *Runner) Run(name string) (string, error) {
+	switch name {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return r.Table2()
+	case "fig3":
+		return r.Fig3()
+	case "fig4":
+		return r.Fig4()
+	case "fig5":
+		return r.Fig5()
+	case "fig7":
+		return r.Fig7()
+	case "fig8":
+		return r.Fig8()
+	case "delays":
+		return r.DelaySweep()
+	case "summary":
+		return r.Summary()
+	case "ablations":
+		return r.Ablations()
+	case "replayschemes":
+		return r.ReplaySchemes()
+	default:
+		known := Names()
+		sort.Strings(known)
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, known)
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specsched/internal/stats"
+)
+
+// tinyOpts keeps experiment tests fast: three contrasting workloads (one
+// with load-use chains over L1 hits, one bank-conflict-prone, one
+// miss-heavy) and short windows.
+func tinyOpts() Options {
+	return Options{
+		Warmup:    3000,
+		Measure:   15000,
+		Workloads: []string{"gzip", "hmmer", "xalancbmk"},
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"192-entry ROB", "60-entry", "TAGE", "DDR3-1600", "75/185"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	out, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range tinyOpts().Workloads {
+		if !strings.Contains(out, wl) {
+			t.Errorf("Table 2 missing workload %s", wl)
+		}
+	}
+	if !strings.Contains(out, "paper IPC") {
+		t.Error("Table 2 missing paper reference column")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	if _, err := r.Fig3(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := r.Collect("Baseline_0", "Baseline_2", "Baseline_4", "Baseline_6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := set.GMeanSpeedup("Baseline_2", "Baseline_0")
+	g4 := set.GMeanSpeedup("Baseline_4", "Baseline_0")
+	g6 := set.GMeanSpeedup("Baseline_6", "Baseline_0")
+	if !(g2 > g4 && g4 > g6) {
+		t.Fatalf("Fig 3 not monotone: %.3f %.3f %.3f", g2, g4, g6)
+	}
+	if g6 >= 1 {
+		t.Fatalf("Baseline_6 gmean %.3f, must be a slowdown", g6)
+	}
+}
+
+func TestFig5ShiftingRemovesBankReplays(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	out, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "74.8%") {
+		t.Error("Fig 5 report missing the paper reference number")
+	}
+	set, err := r.Collect("SpecSched_4", "SpecSched_4_Shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := set.ReductionVs("SpecSched_4_Shift", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.ReplayedBank })
+	if red < 0.5 {
+		t.Fatalf("Shifting removed only %.1f%% of bank replays (paper: 74.8%%)", 100*red)
+	}
+}
+
+func TestFig8CritRemovesMostReplays(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	if _, err := r.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := r.Collect("SpecSched_4", "SpecSched_4_Crit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := set.ReductionVs("SpecSched_4_Crit", "SpecSched_4",
+		func(run *stats.Run) int64 { return run.Replayed() })
+	if red < 0.6 {
+		t.Fatalf("Crit removed only %.1f%% of replays (paper: 90.6%%)", 100*red)
+	}
+}
+
+func TestRunnerCacheReuse(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	a, err := r.Collect("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Collect("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached: identical pointers.
+	if a.Get("Baseline_0", "swim") != b.Get("Baseline_0", "swim") {
+		t.Fatal("runner re-simulated a cached configuration")
+	}
+}
+
+func TestRunnerParallelDeterminism(t *testing.T) {
+	opts := tinyOpts()
+	opts.Parallel = 4
+	a, err := NewRunner(opts).Collect("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 1
+	b, err := NewRunner(opts).Collect("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range opts.Workloads {
+		ra, rb := a.Get("SpecSched_4", wl), b.Get("SpecSched_4", wl)
+		if *ra != *rb {
+			t.Fatalf("%s: parallel and serial runs differ", wl)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	if _, err := r.Run("fig42"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	for _, name := range []string{"table1", "summary"} {
+		out, err := r.Run(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out == "" {
+			t.Fatalf("%s: empty report", name)
+		}
+	}
+}
+
+func TestUnknownWorkloadPropagates(t *testing.T) {
+	opts := tinyOpts()
+	opts.Workloads = []string{"nonexistent"}
+	r := NewRunner(opts)
+	if _, err := r.Table2(); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	out, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NoSilence", "NoSLB", "SetInterleave", "IQRetention", "Crit_1K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}
+
+func TestReplaySchemesAgnosticism(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	out, err := r.ReplaySchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SS4_alpha", "SS4_selective", "Crit_selective", "agnostic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay-schemes report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package predict
+
+// BankPredictor predicts which L1 bank a static load will access, using
+// per-PC last-bank history with a confidence counter — the
+// "bank-history"-based scheme from Yoaz et al. that the paper discusses
+// (§2.2, §4.2) as the predictive alternative to Schedule Shifting: instead
+// of always delaying the second load's dependents, delay them only when
+// the two loads are predicted to collide.
+type BankPredictor struct {
+	banks []uint8
+	conf  []int8 // saturating 0..3; confident when >= 2
+}
+
+// NewBankPredictor builds a predictor with the given entry count (power of
+// two).
+func NewBankPredictor(entries int) *BankPredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predict: bank predictor entries must be a positive power of two")
+	}
+	return &BankPredictor{
+		banks: make([]uint8, entries),
+		conf:  make([]int8, entries),
+	}
+}
+
+func (b *BankPredictor) index(pc uint64) int {
+	h := (pc >> 2) * 0x9e3779b97f4a7c15
+	return int(h>>40) & (len(b.banks) - 1)
+}
+
+// Predict returns the predicted bank for the load at pc and whether the
+// prediction is confident enough to act on.
+func (b *BankPredictor) Predict(pc uint64) (bank int, confident bool) {
+	i := b.index(pc)
+	return int(b.banks[i]), b.conf[i] >= 2
+}
+
+// Update trains the predictor with the load's actual bank.
+func (b *BankPredictor) Update(pc uint64, bank int) {
+	i := b.index(pc)
+	if b.banks[i] == uint8(bank) {
+		if b.conf[i] < 3 {
+			b.conf[i]++
+		}
+		return
+	}
+	if b.conf[i] > 0 {
+		b.conf[i]--
+		return
+	}
+	b.banks[i] = uint8(bank)
+}

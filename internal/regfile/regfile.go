@@ -1,0 +1,145 @@
+// Package regfile implements register renaming: a rename map from the 64
+// architectural registers onto the 256-entry INT and 256-entry FP physical
+// register files of Table 1, free-list management, and precise rollback via
+// reverse ROB walk (each rename records the previous mapping; squashes
+// undo renames youngest-first).
+package regfile
+
+import (
+	"fmt"
+
+	"specsched/internal/uop"
+)
+
+// RenameMap tracks architectural-to-physical mappings and the free lists.
+// Physical registers [0, intPRF) back integer state; [intPRF, intPRF+fpPRF)
+// back floating-point state. It is not safe for concurrent use.
+type RenameMap struct {
+	intPRF, fpPRF int
+	table         [uop.NumArchRegs]int
+	intFree       []int
+	fpFree        []int
+}
+
+// New constructs a rename map. At reset, architectural register i maps to
+// physical register i (FP registers to the base of the FP file), and the
+// remaining physical registers populate the free lists.
+func New(intPRF, fpPRF int) *RenameMap {
+	if intPRF < uop.NumIntRegs || fpPRF < uop.NumFPRegs {
+		panic("regfile: physical register file smaller than architectural state")
+	}
+	m := &RenameMap{intPRF: intPRF, fpPRF: fpPRF}
+	for i := 0; i < uop.NumIntRegs; i++ {
+		m.table[i] = i
+	}
+	for i := 0; i < uop.NumFPRegs; i++ {
+		m.table[uop.NumIntRegs+i] = intPRF + i
+	}
+	for p := uop.NumIntRegs; p < intPRF; p++ {
+		m.intFree = append(m.intFree, p)
+	}
+	for p := intPRF + uop.NumFPRegs; p < intPRF+fpPRF; p++ {
+		m.fpFree = append(m.fpFree, p)
+	}
+	return m
+}
+
+// TotalPhys returns the total number of physical registers.
+func (m *RenameMap) TotalPhys() int { return m.intPRF + m.fpPRF }
+
+// FreeInt and FreeFP return the number of free registers in each file.
+func (m *RenameMap) FreeInt() int { return len(m.intFree) }
+
+// FreeFP returns the number of free FP physical registers.
+func (m *RenameMap) FreeFP() int { return len(m.fpFree) }
+
+// Lookup returns the current physical mapping of an architectural register.
+func (m *RenameMap) Lookup(arch int) int {
+	return m.table[arch]
+}
+
+// CanRename reports whether a destination of the given kind can be renamed
+// right now (a free physical register exists).
+func (m *RenameMap) CanRename(arch int) bool {
+	if uop.IsFPReg(arch) {
+		return len(m.fpFree) > 0
+	}
+	return len(m.intFree) > 0
+}
+
+// Rename allocates a new physical register for architectural destination
+// arch and installs the mapping. It returns the new mapping and the
+// previous one (which the ROB entry must remember for rollback/commit).
+// ok is false when the relevant free list is empty; no state changes then.
+func (m *RenameMap) Rename(arch int) (newPhys, oldPhys int, ok bool) {
+	list := &m.intFree
+	if uop.IsFPReg(arch) {
+		list = &m.fpFree
+	}
+	n := len(*list)
+	if n == 0 {
+		return 0, 0, false
+	}
+	newPhys = (*list)[n-1]
+	*list = (*list)[:n-1]
+	oldPhys = m.table[arch]
+	m.table[arch] = newPhys
+	return newPhys, oldPhys, true
+}
+
+// Rollback undoes a rename during a reverse ROB walk: the mapping of arch
+// reverts to oldPhys and newPhys returns to its free list. Rollbacks must
+// proceed youngest-first.
+func (m *RenameMap) Rollback(arch, oldPhys, newPhys int) {
+	if m.table[arch] != newPhys {
+		panic(fmt.Sprintf("regfile: rollback of %d expected mapping %d, found %d",
+			arch, newPhys, m.table[arch]))
+	}
+	m.table[arch] = oldPhys
+	m.free(newPhys)
+}
+
+// Commit releases the previous mapping of a retiring µ-op's destination;
+// the old physical register can no longer be referenced.
+func (m *RenameMap) Commit(oldPhys int) {
+	m.free(oldPhys)
+}
+
+func (m *RenameMap) free(phys int) {
+	if phys < m.intPRF {
+		m.intFree = append(m.intFree, phys)
+	} else {
+		m.fpFree = append(m.fpFree, phys)
+	}
+}
+
+// LiveCheck verifies the free-list conservation invariant: every physical
+// register is exactly one of {architecturally mapped, free, in-flight}.
+// inflight is the number of physical registers currently held by
+// uncommitted µ-ops (their newPhys allocations). It returns an error when
+// the books do not balance; tests and debug builds call it.
+func (m *RenameMap) LiveCheck(inflight int) error {
+	mapped := make(map[int]bool, uop.NumArchRegs)
+	for _, p := range m.table {
+		if mapped[p] {
+			return fmt.Errorf("regfile: physical register %d mapped twice", p)
+		}
+		mapped[p] = true
+	}
+	total := uop.NumArchRegs + len(m.intFree) + len(m.fpFree) + inflight
+	if total != m.TotalPhys() {
+		return fmt.Errorf("regfile: conservation violated: %d mapped + %d free INT + %d free FP + %d inflight != %d total",
+			uop.NumArchRegs, len(m.intFree), len(m.fpFree), inflight, m.TotalPhys())
+	}
+	for _, p := range m.intFree {
+		if mapped[p] {
+			return fmt.Errorf("regfile: free INT register %d is also mapped", p)
+		}
+	}
+	for _, p := range m.fpFree {
+		if mapped[p] {
+			return fmt.Errorf("regfile: free FP register %d is also mapped", p)
+		}
+	}
+	return nil
+}

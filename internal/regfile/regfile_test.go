@@ -1,0 +1,167 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specsched/internal/rng"
+	"specsched/internal/uop"
+)
+
+func TestInitialMapping(t *testing.T) {
+	m := New(256, 256)
+	for i := 0; i < uop.NumIntRegs; i++ {
+		if m.Lookup(i) != i {
+			t.Fatalf("int reg %d maps to %d at reset", i, m.Lookup(i))
+		}
+	}
+	for i := 0; i < uop.NumFPRegs; i++ {
+		if got := m.Lookup(uop.NumIntRegs + i); got != 256+i {
+			t.Fatalf("fp reg %d maps to %d at reset", i, got)
+		}
+	}
+	if m.FreeInt() != 256-32 || m.FreeFP() != 256-32 {
+		t.Fatalf("free counts = %d/%d, want 224/224", m.FreeInt(), m.FreeFP())
+	}
+	if err := m.LiveCheck(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameCommitCycle(t *testing.T) {
+	m := New(256, 256)
+	newP, oldP, ok := m.Rename(5)
+	if !ok {
+		t.Fatal("rename failed with free registers available")
+	}
+	if oldP != 5 {
+		t.Fatalf("old mapping = %d, want 5", oldP)
+	}
+	if m.Lookup(5) != newP {
+		t.Fatal("mapping not installed")
+	}
+	if err := m.LiveCheck(1); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(oldP)
+	if err := m.LiveCheck(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeInt() != 224 {
+		t.Fatalf("free INT after commit = %d, want 224", m.FreeInt())
+	}
+}
+
+func TestRollbackRestoresMapping(t *testing.T) {
+	m := New(256, 256)
+	n1, o1, _ := m.Rename(7)
+	n2, o2, _ := m.Rename(7)
+	// Rollback youngest-first.
+	m.Rollback(7, o2, n2)
+	if m.Lookup(7) != n1 {
+		t.Fatalf("after rollback of second rename, mapping = %d, want %d", m.Lookup(7), n1)
+	}
+	m.Rollback(7, o1, n1)
+	if m.Lookup(7) != 7 {
+		t.Fatalf("after full rollback, mapping = %d, want 7", m.Lookup(7))
+	}
+	if err := m.LiveCheck(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollbackOutOfOrderPanics(t *testing.T) {
+	m := New(256, 256)
+	n1, o1, _ := m.Rename(7)
+	m.Rename(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order rollback did not panic")
+		}
+	}()
+	m.Rollback(7, o1, n1) // oldest first: must panic
+}
+
+func TestFPAllocationsUseFPList(t *testing.T) {
+	m := New(256, 256)
+	fpArch := uop.NumIntRegs + 3
+	newP, _, ok := m.Rename(fpArch)
+	if !ok || newP < 256 {
+		t.Fatalf("FP rename returned phys %d (ok=%t), want >= 256", newP, ok)
+	}
+	if m.FreeFP() != 223 || m.FreeInt() != 224 {
+		t.Fatalf("free counts = %d/%d after FP rename", m.FreeInt(), m.FreeFP())
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := New(64, 64) // minimal PRF: 32 free in each file
+	count := 0
+	for {
+		_, _, ok := m.Rename(1)
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 32 {
+		t.Fatalf("allocated %d INT registers before exhaustion, want 32", count)
+	}
+	if m.CanRename(1) {
+		t.Fatal("CanRename true with empty free list")
+	}
+	if m.CanRename(uop.NumIntRegs) != true {
+		t.Fatal("FP list should still have registers")
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: any interleaving of rename/commit/rollback conserves
+	// physical registers and never double-maps.
+	type event struct {
+		arch int
+		newP int
+		oldP int
+	}
+	f := func(seed uint64) bool {
+		m := New(96, 96)
+		r := rng.New(seed)
+		var live []event
+		for step := 0; step < 300; step++ {
+			switch r.Intn(3) {
+			case 0: // rename
+				arch := r.Intn(uop.NumArchRegs)
+				if n, o, ok := m.Rename(arch); ok {
+					live = append(live, event{arch, n, o})
+				}
+			case 1: // commit oldest
+				if len(live) > 0 {
+					m.Commit(live[0].oldP)
+					live = live[1:]
+				}
+			case 2: // rollback youngest
+				if len(live) > 0 {
+					e := live[len(live)-1]
+					m.Rollback(e.arch, e.oldP, e.newP)
+					live = live[:len(live)-1]
+				}
+			}
+			if err := m.LiveCheck(len(live)); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooSmallPRFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized PRF did not panic")
+		}
+	}()
+	New(16, 256)
+}

@@ -1,0 +1,96 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the workload generators. It is a SplitMix64 seeder
+// feeding an xoshiro256** state, reproducing the reference algorithms by
+// Blackman and Vigna. Determinism across runs and platforms is a hard
+// requirement for reproducible experiments, which is why the simulator does
+// not depend on math/rand's global state.
+package rng
+
+import "math/bits"
+
+// RNG is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, so that any seed
+// (including 0) yields a well-mixed state.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		thresh := -bound % bound
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1), i.e. the number of trials until first success with p = 1/m.
+// Useful for dependence-distance and run-length draws.
+func (r *RNG) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	n := 1
+	for !r.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Fork derives an independent generator from this one, for splitting a
+// workload seed into per-component streams without correlation.
+func (r *RNG) Fork() *RNG {
+	return New(r.Uint64())
+}

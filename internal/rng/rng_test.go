@@ -1,0 +1,152 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	var orAll uint64
+	for i := 0; i < 64; i++ {
+		orAll |= r.Uint64()
+	}
+	if orAll == 0 {
+		t.Fatal("zero seed produced all-zero output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniform draws = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(13)
+	const buckets = 8
+	const n = 160000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(4)
+	}
+	mean := float64(sum) / n
+	if mean < 3.8 || mean > 4.2 {
+		t.Fatalf("geometric(4) sample mean = %v, want ~4", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(0.5); g != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", g)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit fraction = %v", frac)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(31)
+	b := a.Fork()
+	// The fork advances a; the two must now produce distinct sequences.
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("fork produced %d collisions in 64 draws", equal)
+	}
+}

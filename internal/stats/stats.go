@@ -1,0 +1,286 @@
+// Package stats collects and aggregates simulation statistics.
+//
+// A Run holds the raw event counters of one simulation (one workload × one
+// configuration). Aggregation helpers implement the paper's reporting
+// conventions: performance is normalized per-benchmark against a baseline
+// run and averaged with the geometric mean (§5: "when averaging speedups,
+// the geometric mean is used"), while µ-op counts are reported as fractions
+// of the baseline's issued µ-ops (Fig. 4b, 5b, 7b, 8b).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Run holds the counters of a single simulation run.
+type Run struct {
+	Workload string
+	Config   string
+
+	// Cycles is the number of simulated cycles in the measurement window.
+	Cycles int64
+	// Committed is the number of correct-path µ-ops retired.
+	Committed int64
+
+	// Issued is the total number of issue events, including re-issues of
+	// replayed µ-ops and wrong-path issues.
+	Issued int64
+	// Unique is the number of distinct µ-ops issued at least once
+	// (correct or wrong path) — the paper's "Unique" category.
+	Unique int64
+	// ReplayedMiss counts µ-ops squashed and re-issued because of an L1
+	// load miss that was speculatively scheduled as a hit ("RpldMiss").
+	ReplayedMiss int64
+	// ReplayedBank counts µ-ops squashed and re-issued because of an L1
+	// bank conflict ("RpldBank").
+	ReplayedBank int64
+
+	// Replay trigger events by cause.
+	MissReplayEvents int64
+	BankReplayEvents int64
+
+	// Loads committed, L1 load hits/misses, and bank-conflict-delayed
+	// loads observed at execute (correct path and wrong path alike).
+	Loads         int64
+	L1Hits        int64
+	L1Misses      int64
+	BankConflicts int64
+
+	// Branch predictor performance.
+	Branches    int64
+	Mispredicts int64
+
+	// Memory-order violations (loads squashed-refetched by older stores).
+	MemOrderViolations int64
+	// LateOperands counts µ-ops reaching Execute before a source was on
+	// the bypass — a model-consistency diagnostic that should stay ~0.
+	LateOperands int64
+
+	// Scheduler occupancy sampling (sum over cycles, for averages).
+	IQOccupancySum  int64
+	ROBOccupancySum int64
+
+	// Hit/miss arbitration outcomes: how many loads were allowed to wake
+	// dependents speculatively vs. forced to wait for the hit signal.
+	LoadsSpecWakeup    int64
+	LoadsDelayedWakeup int64
+}
+
+// IPC returns committed µ-ops per cycle for the measurement window.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// Replayed returns the total number of replayed µ-ops.
+func (r *Run) Replayed() int64 { return r.ReplayedMiss + r.ReplayedBank }
+
+// MPKI returns branch mispredictions per kilo-committed-µ-op.
+func (r *Run) MPKI() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Mispredicts) / float64(r.Committed)
+}
+
+// L1MissRate returns the fraction of executed loads that missed in the L1.
+func (r *Run) L1MissRate() float64 {
+	if acc := r.L1Hits + r.L1Misses; acc > 0 {
+		return float64(r.L1Misses) / float64(acc)
+	}
+	return 0
+}
+
+// GMean returns the geometric mean of xs. Non-positive entries are skipped;
+// an empty input yields 0.
+func GMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Speedup returns r's IPC relative to base's IPC.
+func Speedup(r, base *Run) float64 {
+	b := base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+// Set is a collection of runs indexed by (workload, config).
+type Set struct {
+	runs map[string]map[string]*Run // config -> workload -> run
+	// order of insertion for stable iteration
+	configs   []string
+	workloads []string
+	seenWl    map[string]bool
+}
+
+// NewSet returns an empty run set.
+func NewSet() *Set {
+	return &Set{
+		runs:   make(map[string]map[string]*Run),
+		seenWl: make(map[string]bool),
+	}
+}
+
+// Add inserts a run, replacing any previous run for the same key.
+func (s *Set) Add(r *Run) {
+	m, ok := s.runs[r.Config]
+	if !ok {
+		m = make(map[string]*Run)
+		s.runs[r.Config] = m
+		s.configs = append(s.configs, r.Config)
+	}
+	if _, dup := m[r.Workload]; !dup && !s.seenWl[r.Workload] {
+		s.workloads = append(s.workloads, r.Workload)
+		s.seenWl[r.Workload] = true
+	}
+	m[r.Workload] = r
+}
+
+// Get returns the run for (config, workload), or nil.
+func (s *Set) Get(config, workload string) *Run {
+	if m, ok := s.runs[config]; ok {
+		return m[workload]
+	}
+	return nil
+}
+
+// Configs returns configs in insertion order.
+func (s *Set) Configs() []string { return append([]string(nil), s.configs...) }
+
+// Workloads returns workloads in insertion order.
+func (s *Set) Workloads() []string { return append([]string(nil), s.workloads...) }
+
+// GMeanSpeedup returns the geometric-mean speedup of config over baseCfg
+// across all workloads present in both.
+func (s *Set) GMeanSpeedup(config, baseCfg string) float64 {
+	var xs []float64
+	for _, wl := range s.workloads {
+		r, b := s.Get(config, wl), s.Get(baseCfg, wl)
+		if r != nil && b != nil {
+			xs = append(xs, Speedup(r, b))
+		}
+	}
+	return GMean(xs)
+}
+
+// SumField sums fn over all workloads of a config.
+func (s *Set) SumField(config string, fn func(*Run) int64) int64 {
+	var total int64
+	for _, wl := range s.workloads {
+		if r := s.Get(config, wl); r != nil {
+			total += fn(r)
+		}
+	}
+	return total
+}
+
+// ReductionVs returns 1 - sum(fn over config)/sum(fn over baseCfg), i.e. the
+// aggregate fractional reduction of a counter relative to a baseline config.
+func (s *Set) ReductionVs(config, baseCfg string, fn func(*Run) int64) float64 {
+	b := s.SumField(baseCfg, fn)
+	if b == 0 {
+		return 0
+	}
+	return 1 - float64(s.SumField(config, fn))/float64(b)
+}
+
+// Table renders a fixed-width text table. Rows and columns are given as
+// label + value-extractor pairs by the caller.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+	widths []int
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, Header: header, widths: make([]int, len(header))}
+	for i, h := range header {
+		t.widths[i] = len(h)
+	}
+	return t
+}
+
+// AddRow appends a row of cells; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	for i, c := range cells {
+		if i < len(t.widths) && len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v, floats with prec
+// decimal places.
+func (t *Table) AddRowf(prec int, cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.*f", prec, v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", t.widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", t.widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of a string-keyed map in sorted order; a small
+// convenience for deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,99 @@
+package trace
+
+import "specsched/internal/rng"
+
+// AgenKind selects an address-generation pattern for memory µ-ops.
+type AgenKind uint8
+
+const (
+	// AgenStride walks an array with a fixed byte stride, wrapping at the
+	// footprint. Stride 64 with word-interleaved banks keeps hitting the
+	// same bank (bank-conflict-prone, like column-major FP codes);
+	// stride 8 touches consecutive banks.
+	AgenStride AgenKind = iota
+	// AgenRandom draws uniformly from the footprint; the footprint
+	// relative to the cache sizes sets the miss rates.
+	AgenRandom
+	// AgenChase emits a serialized pointer chase: each load's address
+	// depends on the previous load of the same static slot, so the loads
+	// cannot overlap (mcf/omnetpp-like).
+	AgenChase
+)
+
+func (k AgenKind) String() string {
+	switch k {
+	case AgenStride:
+		return "stride"
+	case AgenRandom:
+		return "random"
+	case AgenChase:
+		return "chase"
+	default:
+		return "agen(?)"
+	}
+}
+
+// AgenSpec describes one address-stream family of a workload profile.
+type AgenSpec struct {
+	Kind AgenKind
+	// Footprint is the working-set size in bytes (rounded up to a power
+	// of two internally).
+	Footprint int
+	// Stride is the byte stride for AgenStride.
+	Stride int
+	// Weight is the relative probability that a static memory slot of
+	// the program binds to this family.
+	Weight float64
+}
+
+// agen is the runtime state of one static memory slot's address stream.
+type agen struct {
+	kind      AgenKind
+	base      uint64
+	mask      uint64 // footprint-1 (power of two)
+	stride    uint64
+	pos       uint64
+	r         *rng.RNG
+	serialize bool // chase: next address depends on the previous load
+}
+
+// regionStride separates the address regions of distinct stream families.
+// All static slots bound to the same family share one region, so a
+// workload's data working set is the union of its families' footprints —
+// not a per-slot multiple of them.
+const regionStride = 1 << 28
+
+func newAgen(spec AgenSpec, family int, r *rng.RNG) *agen {
+	fp := uint64(64)
+	for fp < uint64(spec.Footprint) {
+		fp <<= 1
+	}
+	a := &agen{
+		kind:   spec.Kind,
+		mask:   fp - 1,
+		stride: uint64(spec.Stride),
+		r:      r.Fork(),
+	}
+	a.base = uint64(family+1) * regionStride
+	a.pos = uint64(a.r.Intn(int(fp))) &^ 7
+	switch spec.Kind {
+	case AgenStride:
+		if a.stride == 0 {
+			a.stride = 8
+		}
+	case AgenChase:
+		a.serialize = true
+	}
+	return a
+}
+
+// next returns the next effective address of the stream.
+func (a *agen) next() uint64 {
+	switch a.kind {
+	case AgenStride:
+		a.pos = (a.pos + a.stride) & a.mask
+	default: // AgenRandom, AgenChase
+		a.pos = a.r.Uint64() & a.mask &^ 7
+	}
+	return a.base + a.pos
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"specsched/internal/rng"
+	"specsched/internal/uop"
+)
+
+// WrongPath synthesizes the µ-ops fetched after a mispredicted branch until
+// it resolves. The paper's wrong-path instructions come from real misfetched
+// code; here they are statistically plausible filler — a mix of ALU µ-ops
+// and loads over a bounded region — whose only roles are to occupy issue
+// slots, pollute the cache, and inflate the "Unique" issued-µ-op category
+// the way real wrong-path work does (§4.2).
+type WrongPath struct {
+	r    *rng.RNG
+	mask uint64
+	base uint64
+	pcs  uint64
+}
+
+// NewWrongPath constructs a wrong-path generator with its own seed;
+// footprint bounds the addresses its loads touch.
+func NewWrongPath(seed uint64, footprint int) *WrongPath {
+	fp := uint64(64)
+	for fp < uint64(footprint) {
+		fp <<= 1
+	}
+	return &WrongPath{
+		r:    rng.New(seed ^ 0x77726f6e67), // "wrong"
+		mask: fp - 1,
+		base: 0x7f0000000, // disjoint from correct-path data
+	}
+}
+
+// Next produces one wrong-path µ-op starting at the given PC region.
+func (w *WrongPath) Next() uop.UOp {
+	w.pcs++
+	u := uop.UOp{
+		Seq:       -1,
+		PC:        0x700000 + (w.pcs&1023)*4,
+		Src1:      w.r.Intn(numIntBases),
+		Src2:      uop.RegNone,
+		Dest:      uop.RegNone,
+		WrongPath: true,
+		Size:      8,
+	}
+	if w.r.Bool(0.25) {
+		u.Class = uop.ClassLoad
+		u.Addr = w.base + (w.r.Uint64() & w.mask &^ 7)
+		u.Dest = firstIntDest + w.r.Intn(uop.NumIntRegs-firstIntDest)
+	} else {
+		u.Class = uop.ClassALU
+		u.Dest = firstIntDest + w.r.Intn(uop.NumIntRegs-firstIntDest)
+	}
+	return u
+}

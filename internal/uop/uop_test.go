@@ -1,0 +1,85 @@
+package uop
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassLatencies(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want int
+	}{
+		{ClassALU, 1}, {ClassBranch, 1}, {ClassNop, 1}, {ClassStore, 1},
+		{ClassMul, 3}, {ClassFP, 3}, {ClassFPMul, 5}, {ClassFPDiv, 10},
+		{ClassDiv, 25}, {ClassLoad, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Latency(); got != tc.want {
+			t.Errorf("%v.Latency() = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	for c := ClassNop; c < Class(NumClasses); c++ {
+		want := c != ClassDiv && c != ClassFPDiv
+		if got := c.Pipelined(); got != want {
+			t.Errorf("%v.Pipelined() = %t, want %t", c, got, want)
+		}
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() {
+		t.Error("load/store must be memory classes")
+	}
+	if ClassALU.IsMem() || ClassBranch.IsMem() {
+		t.Error("ALU/branch must not be memory classes")
+	}
+}
+
+func TestRegisterGeometry(t *testing.T) {
+	if NumArchRegs != NumIntRegs+NumFPRegs {
+		t.Fatal("arch reg count mismatch")
+	}
+	if IsFPReg(0) || IsFPReg(NumIntRegs-1) {
+		t.Error("integer regs misclassified as FP")
+	}
+	if !IsFPReg(NumIntRegs) || !IsFPReg(NumArchRegs-1) {
+		t.Error("FP regs misclassified")
+	}
+	if IsFPReg(NumArchRegs) || IsFPReg(RegNone) {
+		t.Error("out-of-range regs must not be FP")
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	u := UOp{Dest: 3}
+	if !u.HasDest() {
+		t.Error("HasDest with dest=3")
+	}
+	u.Dest = RegNone
+	if u.HasDest() {
+		t.Error("HasDest with RegNone")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	ld := UOp{Seq: 1, Class: ClassLoad, PC: 0x40, Addr: 0x1000, Dest: 2, Src1: 1, Src2: RegNone}
+	if s := ld.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0x1000") {
+		t.Errorf("load string = %q", s)
+	}
+	br := UOp{Seq: 2, Class: ClassBranch, PC: 0x44, Taken: true, Target: 0x80}
+	if s := br.String(); !strings.Contains(s, "branch") || !strings.Contains(s, "true") {
+		t.Errorf("branch string = %q", s)
+	}
+	alu := UOp{Seq: 3, Class: ClassALU, PC: 0x48, Dest: 5, Src1: 1, Src2: 2}
+	if s := alu.String(); !strings.Contains(s, "alu") {
+		t.Errorf("alu string = %q", s)
+	}
+	var bogus Class = 99
+	if s := bogus.String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown class string = %q", s)
+	}
+}
