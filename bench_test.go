@@ -30,10 +30,27 @@ func benchOpts() experiments.Options {
 	}
 }
 
-// BenchmarkTable2 regenerates the per-benchmark Baseline_0 IPC table.
+// BenchmarkTable2 regenerates the per-benchmark Baseline_0 IPC table with
+// the (default) event-driven scheduler and reports simulation throughput.
 func BenchmarkTable2(b *testing.B) {
+	benchTable2(b, config.SchedEvent)
+}
+
+// BenchmarkTable2Scan is the same experiment on the legacy scan scheduler,
+// kept for one release as the perf-trajectory reference: the ratio of the
+// two benchmarks' Minst/s metrics is the event-driven scheduler's speedup
+// (tracked in BENCH_1.json via cmd/benchjson).
+func BenchmarkTable2Scan(b *testing.B) {
+	benchTable2(b, config.SchedScan)
+}
+
+func benchTable2(b *testing.B, impl config.SchedulerImpl) {
+	b.Helper()
+	var uops int64
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchOpts())
+		opts := benchOpts()
+		opts.Scheduler = impl
+		r := experiments.NewRunner(opts)
 		out, err := r.Table2()
 		if err != nil {
 			b.Fatal(err)
@@ -41,7 +58,9 @@ func BenchmarkTable2(b *testing.B) {
 		if !strings.Contains(out, "xalancbmk") {
 			b.Fatal("table missing rows")
 		}
+		uops += r.SimulatedUOps()
 	}
+	b.ReportMetric(float64(uops)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
 
 // BenchmarkFig3 regenerates the conservative-scheduling slowdown and
@@ -191,3 +210,44 @@ func BenchmarkCoreStepBaseline(b *testing.B) {
 		c.Step()
 	}
 }
+
+// iq256Config widens the machine to the shared config.WideWindow point —
+// the regime where the scan scheduler's O(window) per-cycle cost bites
+// hardest and the event-driven scheduler's event-proportional cost should
+// scale near-linearly with delivered IPC instead. The conservative
+// baseline on a streaming-DRAM workload keeps ~100 sleeping entries
+// resident in the IQ: the scan re-polls all of them every cycle, the
+// event scheduler leaves them parked on consumer lists.
+func iq256Config(impl config.SchedulerImpl) config.CoreConfig {
+	cfg, err := config.Preset("Baseline_0")
+	if err != nil {
+		panic(err)
+	}
+	cfg = config.WideWindow(cfg)
+	cfg.Scheduler = impl
+	return cfg
+}
+
+func benchIQ256(b *testing.B, impl config.SchedulerImpl) {
+	b.Helper()
+	p, err := trace.ByName("libquantum")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.New(iq256Config(impl), trace.New(p), p.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Run(5000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(0, 1000)
+	}
+	b.ReportMetric(float64(1000*b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkIQ256 and BenchmarkIQ256Scan are the widened-window bench
+// points: their ratio shows the event-driven scheduler's advantage growing
+// with window size.
+func BenchmarkIQ256(b *testing.B)     { benchIQ256(b, config.SchedEvent) }
+func BenchmarkIQ256Scan(b *testing.B) { benchIQ256(b, config.SchedScan) }

@@ -1,0 +1,246 @@
+// Command benchjson runs the repository's benchmark suite and writes a
+// machine-readable BENCH_<n>.json so successive PRs can track the
+// simulator's performance trajectory. It measures:
+//
+//   - every figure-regenerating experiment (table2, fig3..fig8, delays)
+//     under the default event-driven scheduler: wall time, allocations,
+//     and simulation throughput (Minsts/sec);
+//   - the scheduler comparison: Table 2 and the widened IQ=256 point under
+//     both the event-driven and the legacy scan wakeup/select
+//     implementations, interleaved and best-of-N to shave scheduler-
+//     independent machine noise, with the resulting speedup ratios.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_1.json] [-reps 3] [-warmup N] [-measure N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/experiments"
+	"specsched/internal/trace"
+)
+
+type figureResult struct {
+	Name       string  `json:"name"`
+	NsOp       int64   `json:"ns_op"`
+	AllocsOp   uint64  `json:"allocs_op"`
+	UOps       int64   `json:"uops_simulated"`
+	MinstsPerS float64 `json:"minsts_per_sec"`
+}
+
+type comparison struct {
+	Name        string  `json:"name"`
+	EventMinsts float64 `json:"event_minsts_per_sec"`
+	ScanMinsts  float64 `json:"scan_minsts_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	// PerWorkload breaks the table2 comparison down (absent for iq256).
+	PerWorkload []wlComparison `json:"per_workload,omitempty"`
+}
+
+type wlComparison struct {
+	Workload string  `json:"workload"`
+	EventMs  float64 `json:"event_ms"`
+	ScanMs   float64 `json:"scan_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type report struct {
+	Schema     string         `json:"schema"`
+	CreatedFor string         `json:"created_for"`
+	GoVersion  string         `json:"go_version"`
+	GOARCH     string         `json:"goarch"`
+	Reps       int            `json:"reps"`
+	Warmup     int64          `json:"warmup_uops"`
+	Measure    int64          `json:"measure_uops"`
+	Figures    []figureResult `json:"figures"`
+	Scheduler  []comparison   `json:"scheduler_comparison"`
+}
+
+var benchWorkloads = []string{"swim", "hmmer", "xalancbmk", "libquantum", "mcf", "gzip"}
+
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// runFigure executes one named experiment on a fresh runner and reports
+// wall time, allocations, and throughput.
+func runFigure(name string, opts experiments.Options) (figureResult, error) {
+	r := experiments.NewRunner(opts)
+	a0 := mallocs()
+	start := time.Now()
+	if _, err := r.Run(name); err != nil {
+		return figureResult{}, err
+	}
+	wall := time.Since(start)
+	uops := r.SimulatedUOps()
+	return figureResult{
+		Name:       name,
+		NsOp:       wall.Nanoseconds(),
+		AllocsOp:   mallocs() - a0,
+		UOps:       uops,
+		MinstsPerS: float64(uops) / wall.Seconds() / 1e6,
+	}, nil
+}
+
+// table2Comparison measures the Table 2 suite (Baseline_0 over the bench
+// workloads) under both scheduler implementations. The two implementations
+// run back-to-back per workload and the best of reps is kept per
+// (workload, impl) pair — the tightest pairing against slow drift in the
+// host machine, which a whole-suite-at-a-time comparison soaks up as
+// ratio noise.
+func table2Comparison(opts experiments.Options, reps int) (comparison, error) {
+	cmp := comparison{Name: "table2"}
+	var totEv, totSc float64 // seconds
+	for _, wl := range opts.Workloads {
+		p, err := trace.ByName(wl)
+		if err != nil {
+			return cmp, err
+		}
+		best := map[config.SchedulerImpl]float64{}
+		for i := 0; i < reps; i++ {
+			for _, impl := range []config.SchedulerImpl{config.SchedScan, config.SchedEvent} {
+				cfg, err := config.Preset("Baseline_0")
+				if err != nil {
+					return cmp, err
+				}
+				cfg.Scheduler = impl
+				c, err := core.New(cfg, trace.New(p), p.Seed)
+				if err != nil {
+					return cmp, err
+				}
+				start := time.Now()
+				c.Run(opts.Warmup, opts.Measure)
+				el := time.Since(start).Seconds()
+				if b, ok := best[impl]; !ok || el < b {
+					best[impl] = el
+				}
+			}
+		}
+		cmp.PerWorkload = append(cmp.PerWorkload, wlComparison{
+			Workload: wl,
+			EventMs:  1e3 * best[config.SchedEvent],
+			ScanMs:   1e3 * best[config.SchedScan],
+			Speedup:  best[config.SchedScan] / best[config.SchedEvent],
+		})
+		totEv += best[config.SchedEvent]
+		totSc += best[config.SchedScan]
+	}
+	uops := float64(int64(len(opts.Workloads)) * (opts.Warmup + opts.Measure))
+	cmp.EventMinsts = uops / totEv / 1e6
+	cmp.ScanMinsts = uops / totSc / 1e6
+	cmp.Speedup = totSc / totEv
+	return cmp, nil
+}
+
+// iq256Throughput measures steady-state core throughput on the widened
+// window (256-entry IQ) point: a conservative wide machine on a
+// streaming-DRAM workload, where ~100 sleeping IQ entries punish the
+// per-cycle scan.
+func iq256Throughput(impl config.SchedulerImpl, measure int64) (float64, error) {
+	p, err := trace.ByName("libquantum")
+	if err != nil {
+		return 0, err
+	}
+	cfg, err := config.Preset("Baseline_0")
+	if err != nil {
+		return 0, err
+	}
+	cfg = config.WideWindow(cfg)
+	cfg.Scheduler = impl
+	c, err := core.New(cfg, trace.New(p), p.Seed)
+	if err != nil {
+		return 0, err
+	}
+	c.Run(20000, 1)
+	start := time.Now()
+	r := c.Run(0, measure)
+	return float64(r.Committed) / time.Since(start).Seconds() / 1e6, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output path")
+	reps := flag.Int("reps", 3, "interleaved repetitions per comparison point (best-of)")
+	warmup := flag.Int64("warmup", 4000, "warmup µ-ops per run")
+	measure := flag.Int64("measure", 20000, "measured µ-ops per run")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Warmup:    *warmup,
+		Measure:   *measure,
+		Workloads: benchWorkloads,
+	}
+	rep := report{
+		Schema:     "specsched-bench/v1",
+		CreatedFor: "event-driven wakeup/select scheduler",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Reps:       *reps,
+		Warmup:     *warmup,
+		Measure:    *measure,
+	}
+
+	for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig7", "fig8", "delays"} {
+		fr, err := runFigure(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Figures = append(rep.Figures, fr)
+		fmt.Printf("%-8s %8.1f ms  %9d allocs  %6.3f Minsts/sec\n",
+			name, float64(fr.NsOp)/1e6, fr.AllocsOp, fr.MinstsPerS)
+	}
+
+	// Scheduler comparison: per-workload back-to-back pairs, best of reps.
+	t2, err := table2Comparison(opts, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: table2 comparison: %v\n", err)
+		os.Exit(1)
+	}
+	var iqev, iqsc float64
+	for i := 0; i < *reps; i++ {
+		for _, m := range []struct {
+			impl config.SchedulerImpl
+			dst  *float64
+		}{{config.SchedScan, &iqsc}, {config.SchedEvent, &iqev}} {
+			v, err := iq256Throughput(m.impl, 5**measure)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: iq256 %s: %v\n", m.impl, err)
+				os.Exit(1)
+			}
+			if v > *m.dst {
+				*m.dst = v
+			}
+		}
+	}
+	rep.Scheduler = []comparison{
+		t2,
+		{Name: "iq256", EventMinsts: iqev, ScanMinsts: iqsc, Speedup: iqev / iqsc},
+	}
+	for _, ccmp := range rep.Scheduler {
+		fmt.Printf("%-8s event %6.3f  scan %6.3f  speedup %.2fx\n",
+			ccmp.Name, ccmp.EventMinsts, ccmp.ScanMinsts, ccmp.Speedup)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

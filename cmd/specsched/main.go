@@ -24,6 +24,7 @@ func main() {
 	workload := flag.String("workload", "xalancbmk", "workload name")
 	measure := flag.Int64("measure", 100000, "measured µ-ops")
 	warmup := flag.Int64("warmup", 20000, "warmup µ-ops")
+	scheduler := flag.String("scheduler", "event", "simulator wakeup/select implementation: event|scan (results are bit-identical; speed differs)")
 	list := flag.Bool("list", false, "list configurations and workloads, then exit")
 	flag.Parse()
 
@@ -40,6 +41,15 @@ func main() {
 	cfg, err := config.Preset(*cfgName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch *scheduler {
+	case "event":
+		cfg.Scheduler = config.SchedEvent
+	case "scan":
+		cfg.Scheduler = config.SchedScan
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scheduler %q (want event or scan)\n", *scheduler)
 		os.Exit(1)
 	}
 	p, err := trace.ByName(*workload)
@@ -70,4 +80,8 @@ func main() {
 	fmt.Printf("  mem-order violations%8d\n", r.MemOrderViolations)
 	fmt.Printf("  avg IQ / ROB occ    %8.1f / %.1f\n",
 		float64(r.IQOccupancySum)/float64(r.Cycles), float64(r.ROBOccupancySum)/float64(r.Cycles))
+	if cfg.Scheduler == config.SchedEvent {
+		fmt.Printf("  scheduler (event)   %8.2f wakeups/cycle, %.2f events/cycle\n",
+			r.WakeupsPerCycle(), r.EventsPerCycle())
+	}
 }

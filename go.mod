@@ -1,0 +1,3 @@
+module specsched
+
+go 1.24

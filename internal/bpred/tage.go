@@ -90,11 +90,25 @@ type TAGE struct {
 	tick int // allocation aging counter
 }
 
-// Snapshot captures the speculative direction-history position so it can be
-// restored after a pipeline squash.
+// Snapshot captures the speculative direction-history position — and the
+// incrementally folded per-component hashes — so a pipeline squash can be
+// restored in O(components) instead of refolding O(histLen) bits per
+// component. Capturing the folded values is exact: folding is linear over
+// GF(2), and the raw history bits at or before the snapshot position are
+// never overwritten while the snapshot can still be restored (the ring
+// holds 4x the maximum history, far more than the machine's in-flight
+// branch count).
 type Snapshot struct {
 	gptr int
+	// captured is false when the configuration has more components than
+	// the fixed-size capture array; Restore then falls back to refolding.
+	captured bool
+	folded   [3 * snapComps]uint32
 }
+
+// snapComps bounds the number of tagged components whose folded state a
+// Snapshot captures inline (the paper's configuration has 12).
+const snapComps = 16
 
 // NewTAGE builds a predictor from the configuration's TAGE geometry.
 func NewTAGE(cfg *config.CoreConfig) *TAGE {
@@ -326,13 +340,47 @@ func (t *TAGE) UpdateHistory(taken bool) {
 	}
 }
 
-// Snapshot captures the current speculative history position.
-func (t *TAGE) Snapshot() Snapshot { return Snapshot{gptr: t.gptr} }
+// Snapshot captures the current speculative history position and folded
+// hashes.
+func (t *TAGE) Snapshot() Snapshot {
+	var s Snapshot
+	t.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto is Snapshot without the value copy — the caller owns (and
+// typically pools) the destination.
+func (t *TAGE) SnapshotInto(s *Snapshot) {
+	s.gptr = t.gptr
+	s.captured = len(t.comps) <= snapComps
+	if !s.captured {
+		return
+	}
+	for i := range t.comps {
+		c := &t.comps[i]
+		s.folded[3*i] = c.fIdx.value
+		s.folded[3*i+1] = c.fTag1.value
+		s.folded[3*i+2] = c.fTag2.value
+	}
+}
 
 // Restore rewinds the direction history to a snapshot taken before a
-// squashed region and recomputes the folded histories from the raw buffer.
-func (t *TAGE) Restore(s Snapshot) {
+// squashed region: folded histories are restored from the captured values,
+// or recomputed from the raw buffer for oversized configurations.
+func (t *TAGE) Restore(s Snapshot) { t.RestoreFrom(&s) }
+
+// RestoreFrom is Restore without the argument copy.
+func (t *TAGE) RestoreFrom(s *Snapshot) {
 	t.gptr = s.gptr
+	if s.captured {
+		for i := range t.comps {
+			c := &t.comps[i]
+			c.fIdx.value = s.folded[3*i]
+			c.fTag1.value = s.folded[3*i+1]
+			c.fTag2.value = s.folded[3*i+2]
+		}
+		return
+	}
 	for i := range t.comps {
 		c := &t.comps[i]
 		c.fIdx.recompute(t.ghist, t.gptr)

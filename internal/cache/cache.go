@@ -147,43 +147,195 @@ func (a *Array) Invalidate(addr uint64) {
 // delayed until the earliest in-flight fill completes.
 type mshrFile struct {
 	capacity int
-	inflight map[uint64]int64
+	inflight mshrMap
+	// heap is a min-heap on fill time mirroring every inflight write, so
+	// prune and earliest run in O(completed · log n) instead of scanning
+	// the whole table per miss. Entries whose (line, time) no longer
+	// matches the table (overwritten or already deleted) are stale and
+	// skipped at pop time.
+	heap []mshrEntry
 
 	Merges     int64 // accesses that hit an in-flight fill
 	FullStalls int64 // accesses delayed by MSHR exhaustion
+}
+
+type mshrEntry struct {
+	at   int64
+	line uint64
+}
+
+// mshrMap is a small open-addressed line -> fill-time table (linear
+// probing, backward-shift deletion). MSHR files cap at a few dozen live
+// entries, and the simulator probes them on every cache access — a flat
+// power-of-two table at low load factor beats a general-purpose map's
+// hashing and bucket walk on the memory-bound workloads that dominate
+// simulation wall time. Keys are stored as line+1 so zero means empty.
+type mshrMap struct {
+	keys  []uint64
+	vals  []int64
+	mask  uint64
+	shift uint
+	n     int
+}
+
+func newMSHRMap(capacity int) mshrMap {
+	size, bits := 8, uint(3)
+	for size < 4*capacity {
+		size *= 2
+		bits++
+	}
+	return mshrMap{
+		keys:  make([]uint64, size),
+		vals:  make([]int64, size),
+		mask:  uint64(size - 1),
+		shift: 64 - bits,
+	}
+}
+
+func (m *mshrMap) home(key uint64) uint64 {
+	// Fibonacci hashing: the multiply pushes entropy into the high bits,
+	// which the shift selects.
+	return (key * 0x9e3779b97f4a7c15) >> m.shift
+}
+
+func (m *mshrMap) get(line uint64) (int64, bool) {
+	key := line + 1
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			return m.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+func (m *mshrMap) put(line uint64, v int64) {
+	key := line + 1
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			m.vals[i] = v
+			return
+		case 0:
+			m.keys[i] = key
+			m.vals[i] = v
+			m.n++
+			return
+		}
+	}
+}
+
+// del removes line (if present) with backward-shift deletion, keeping
+// probe chains intact without tombstones.
+func (m *mshrMap) del(line uint64) {
+	key := line + 1
+	i := m.home(key)
+	for m.keys[i] != key {
+		if m.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.n--
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if m.keys[j] == 0 {
+			break
+		}
+		h := m.home(m.keys[j])
+		// Move j's entry into the hole at i unless its home lies in the
+		// cyclic range (i, j] (then it must stay reachable from home).
+		inRange := (j > i && h > i && h <= j) || (j < i && (h > i || h <= j))
+		if !inRange {
+			m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = 0
 }
 
 func newMSHRFile(capacity int) *mshrFile {
 	if capacity <= 0 {
 		panic("cache: MSHR capacity must be positive")
 	}
-	return &mshrFile{capacity: capacity, inflight: make(map[uint64]int64, capacity)}
+	return &mshrFile{capacity: capacity, inflight: newMSHRMap(capacity)}
 }
 
 // lookup returns the fill time of an in-flight request for line, if any.
 func (m *mshrFile) lookup(line uint64) (int64, bool) {
-	t, ok := m.inflight[line]
-	return t, ok
+	return m.inflight.get(line)
+}
+
+func (m *mshrFile) heapPush(e mshrEntry) {
+	m.heap = append(m.heap, e)
+	i := len(m.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if m.heap[p].at <= m.heap[i].at {
+			break
+		}
+		m.heap[p], m.heap[i] = m.heap[i], m.heap[p]
+		i = p
+	}
+}
+
+func (m *mshrFile) heapPop() {
+	n := len(m.heap) - 1
+	m.heap[0] = m.heap[n]
+	m.heap = m.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && m.heap[l].at < m.heap[min].at {
+			min = l
+		}
+		if r < n && m.heap[r].at < m.heap[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		m.heap[i], m.heap[min] = m.heap[min], m.heap[i]
+		i = min
+	}
+}
+
+// top returns the earliest live heap entry, discarding stale ones, or
+// ok == false when no fills are in flight.
+func (m *mshrFile) top() (mshrEntry, bool) {
+	for len(m.heap) > 0 {
+		e := m.heap[0]
+		if t, ok := m.inflight.get(e.line); !ok || t != e.at {
+			m.heapPop() // stale: overwritten or already deleted
+			continue
+		}
+		return e, true
+	}
+	return mshrEntry{}, false
 }
 
 // prune drops completed fills (fill time <= now).
 func (m *mshrFile) prune(now int64) {
-	for l, t := range m.inflight {
-		if t <= now {
-			delete(m.inflight, l)
+	for {
+		e, ok := m.top()
+		if !ok || e.at > now {
+			return
 		}
+		m.heapPop()
+		m.inflight.del(e.line)
 	}
 }
 
 // earliest returns the soonest in-flight fill completion.
 func (m *mshrFile) earliest() int64 {
-	var best int64 = -1
-	for _, t := range m.inflight {
-		if best < 0 || t < best {
-			best = t
-		}
+	e, ok := m.top()
+	if !ok {
+		return -1
 	}
-	return best
+	return e.at
 }
 
 // allocate registers a new in-flight fill. If the file is full even after
@@ -192,7 +344,7 @@ func (m *mshrFile) earliest() int64 {
 func (m *mshrFile) allocate(line uint64, now int64) int64 {
 	m.prune(now)
 	start := now
-	for len(m.inflight) >= m.capacity {
+	for m.inflight.n >= m.capacity {
 		e := m.earliest()
 		if e < 0 {
 			break
@@ -206,5 +358,6 @@ func (m *mshrFile) allocate(line uint64, now int64) int64 {
 
 // record stores the fill completion time after the backend access.
 func (m *mshrFile) record(line uint64, fillAt int64) {
-	m.inflight[line] = fillAt
+	m.inflight.put(line, fillAt)
+	m.heapPush(mshrEntry{at: fillAt, line: line})
 }

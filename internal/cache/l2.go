@@ -15,12 +15,19 @@ type strideEntry struct {
 type stridePrefetcher struct {
 	table  []strideEntry
 	degree int
+	// out is the reused result buffer for observe — its contents are only
+	// valid until the next call, which every caller consumes immediately.
+	out []uint64
 
 	Issued int64 // prefetch requests sent below
 }
 
 func newStridePrefetcher(degree int) *stridePrefetcher {
-	return &stridePrefetcher{table: make([]strideEntry, 256), degree: degree}
+	return &stridePrefetcher{
+		table:  make([]strideEntry, 256),
+		degree: degree,
+		out:    make([]uint64, 0, degree),
+	}
 }
 
 // observe trains on a demand access and returns the addresses to prefetch
@@ -48,10 +55,11 @@ func (p *stridePrefetcher) observe(addr, pc uint64) []uint64 {
 	if e.conf < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.out[:0]
 	for k := 1; k <= p.degree; k++ {
 		out = append(out, uint64(int64(addr)+stride*int64(k)))
 	}
+	p.out = out
 	return out
 }
 

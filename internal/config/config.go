@@ -77,6 +77,32 @@ func (s ReplayScheme) String() string {
 	}
 }
 
+// SchedulerImpl selects the software implementation of the wakeup/select
+// logic in the simulated backend. Both implementations are cycle-exact
+// models of the same machine — they must produce bit-identical statistics —
+// and differ only in simulator cost: the scan implementation re-evaluates
+// every issue-queue entry every cycle (O(window) per cycle), while the
+// event-driven implementation maintains per-physical-register consumer
+// lists, an age-ordered ready queue, and a timing wheel so scheduling work
+// is proportional to events (completions, wakeups) rather than window size.
+type SchedulerImpl uint8
+
+const (
+	// SchedEvent is the event-driven scheduler (consumer lists + ready
+	// queue + timing wheel). The default.
+	SchedEvent SchedulerImpl = iota
+	// SchedScan is the legacy per-cycle full-window scan, kept for one
+	// release as the differential-testing reference.
+	SchedScan
+)
+
+func (s SchedulerImpl) String() string {
+	if s == SchedScan {
+		return "scan"
+	}
+	return "event"
+}
+
 // Interleave selects the L1D bank-interleaving function.
 type Interleave uint8
 
@@ -187,6 +213,11 @@ type CoreConfig struct {
 	BankPredEntries int
 	CriticalityGate bool
 	Replay          ReplayScheme
+
+	// Scheduler selects the simulator-side wakeup/select implementation
+	// (event-driven by default; the legacy scan kept for differential
+	// testing). It must not affect simulated timing, only simulator speed.
+	Scheduler SchedulerImpl
 
 	// Hit/miss filter geometry (§5.2).
 	FilterEntries       int
@@ -435,6 +466,22 @@ func SpecSchedCrit(delay int) CoreConfig {
 	c := SpecSchedCombined(delay)
 	c.CriticalityGate = true
 	c.Name = fmt.Sprintf("SpecSched_%d_Crit", delay)
+	return c
+}
+
+// WideWindow scales a configuration to the widened-window study point used
+// by the benchmarks and differential tests: a 256-entry IQ with the ROB,
+// LSQ, and PRF grown to keep it fillable. One definition so the
+// BenchmarkIQ256 pair, cmd/benchjson's iq256 comparison, and the wide
+// differential test all describe the same machine.
+func WideWindow(c CoreConfig) CoreConfig {
+	c.IQEntries = 256
+	c.ROBEntries = 512
+	c.LQEntries = 192
+	c.SQEntries = 128
+	c.IntPRF = 640
+	c.FPPRF = 640
+	c.Name += "_IQ256"
 	return c
 }
 

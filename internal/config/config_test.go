@@ -147,6 +147,26 @@ func TestStringers(t *testing.T) {
 	}
 }
 
+func TestSchedulerImplDefaultAndStringer(t *testing.T) {
+	// The zero value — and therefore every preset — selects the
+	// event-driven scheduler; the scan implementation is opt-in.
+	if Default().Scheduler != SchedEvent {
+		t.Error("default scheduler is not event-driven")
+	}
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Scheduler != SchedEvent {
+			t.Errorf("preset %s does not default to the event scheduler", name)
+		}
+	}
+	if SchedEvent.String() != "event" || SchedScan.String() != "scan" {
+		t.Error("SchedulerImpl stringer")
+	}
+}
+
 func TestDelaySweepNames(t *testing.T) {
 	for _, d := range []int{0, 2, 4, 6} {
 		if got := SpecSchedCrit(d).Name; got != strings.ReplaceAll("SpecSched_D_Crit", "D", itoa(d)) {

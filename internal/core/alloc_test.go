@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"specsched/internal/config"
+	"specsched/internal/trace"
+)
+
+// TestSteadyStateZeroAllocs is the allocation regression guard for the
+// event-driven scheduler: after warmup, the simulate loop must not
+// allocate at all — the inst pool, pre-sized FIFO buffers, timing-wheel
+// slots, and scratch slices absorb every steady-state need. Run on
+// contrasting workloads (cache-resident high-IPC, DRAM-bound, and
+// mispredict-heavy, which exercises the squash/refetch path).
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		wl     string
+		preset string
+	}{
+		{"gzip", "SpecSched_4"},
+		{"swim", "SpecSched_4_Crit"},
+		{"libquantum", "SpecSched_4"},
+		{"twolf", "Baseline_0"},
+	} {
+		p, err := trace.ByName(tc.wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Preset(tc.preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MustNew(cfg, trace.New(p), p.Seed)
+		// Warm until pools, buffers, and wheel slots reach steady size.
+		c.Run(60000, 1)
+		avg := testing.AllocsPerRun(20, func() {
+			for i := 0; i < 2000; i++ {
+				c.Step()
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s/%s: %.1f allocations per 2000 steady-state cycles, want 0",
+				tc.preset, tc.wl, avg)
+		}
+	}
+}

@@ -94,6 +94,11 @@ func (c *Core) ready(e *inst) bool {
 		return false
 	}
 	if e.memDepID >= 0 {
+		// Re-resolved on every evaluation, as the original scan scheduler
+		// modeled it. The event-driven path memoizes satisfaction at
+		// enqueue time instead (see eventSched.enqueue) — satisfaction is
+		// monotone while e lives — so its pop-time re-checks rarely reach
+		// this branch.
 		if s := c.findStore(e.memDepID); s != nil && !s.executed {
 			return false
 		}
@@ -102,17 +107,48 @@ func (c *Core) ready(e *inst) bool {
 }
 
 func (c *Core) findStore(dynID int64) *inst {
-	for _, s := range c.sq {
-		if s.dynID == dynID {
-			return s
-		}
+	if i := ageSearch(c.sq, dynID-1); i < len(c.sq) && c.sq[i].dynID == dynID {
+		return c.sq[i]
 	}
 	return nil
 }
 
+// issueRecovery replays the recovery buffer with priority, oldest first.
+// The buffer is age-ordered; not-yet-ready entries (dependents waiting on
+// a revised load promise) are skipped so independent replayed work keeps
+// flowing — the property Kim & Lipasti identify as essential for any
+// usable replay scheme. Shared verbatim by both scheduler implementations
+// (the buffer's size is already event-proportional). Returns the remaining
+// issue width.
+func (c *Core) issueRecovery(budget *fuBudget, width int, loadsIssued *int) int {
+	if len(c.recovery) == 0 {
+		return width
+	}
+	rest := c.recovery[:0]
+	for i, e := range c.recovery {
+		if e.squashed {
+			continue
+		}
+		if width == 0 {
+			rest = append(rest, c.recovery[i:]...)
+			break
+		}
+		if !c.ready(e) || !c.takeFU(e, budget) {
+			rest = append(rest, e)
+			continue
+		}
+		e.inBuffer = false
+		c.doIssue(e, loadsIssued)
+		width--
+	}
+	c.recovery = rest
+	return width
+}
+
 // issue selects up to IssueWidth µ-ops: the recovery buffer replays first
 // (FIFO, head group only — §3.1), then the scheduler fills the remaining
-// slots oldest-first.
+// slots oldest-first. This is the scan implementation (config.SchedScan):
+// it re-evaluates ready() for every IQ entry every cycle.
 func (c *Core) issue() {
 	if c.cycle == c.issueBlock {
 		return
@@ -131,31 +167,7 @@ func (c *Core) issue() {
 	width := c.cfg.IssueWidth
 	loadsIssued := 0
 
-	// Recovery buffer: replay with priority, oldest first. The buffer is
-	// age-ordered; not-yet-ready entries (dependents waiting on a
-	// revised load promise) are skipped so independent replayed work
-	// keeps flowing — the property Kim & Lipasti identify as essential
-	// for any usable replay scheme.
-	if len(c.recovery) > 0 {
-		rest := c.recovery[:0]
-		for i, e := range c.recovery {
-			if e.squashed {
-				continue
-			}
-			if width == 0 {
-				rest = append(rest, c.recovery[i:]...)
-				break
-			}
-			if !c.ready(e) || !c.takeFU(e, &budget) {
-				rest = append(rest, e)
-				continue
-			}
-			e.inBuffer = false
-			c.doIssue(e, &loadsIssued)
-			width--
-		}
-		c.recovery = rest
-	}
+	width = c.issueRecovery(&budget, width, &loadsIssued)
 
 	// Scheduler fills the holes, oldest first.
 	for _, e := range c.iq {
@@ -183,7 +195,11 @@ func (c *Core) doIssue(e *inst, loadsIssued *int) {
 	e.timesIssued++
 	e.issueCycle = c.cycle
 	e.execCycle = c.cycle + c.delay() + 1
-	c.inflight = append(c.inflight, e)
+	if c.sched != nil {
+		c.sched.onIssue(e)
+	} else {
+		c.inflight = append(c.inflight, e)
+	}
 	c.run.Issued++
 	if e.timesIssued == 1 {
 		c.run.Unique++
@@ -211,7 +227,7 @@ func (c *Core) doIssue(e *inst, loadsIssued *int) {
 			p = c.cycle + int64(e.u.Class.Latency())
 		}
 		e.promise = p
-		c.specReady[e.destPhys] = p
+		c.publishSpecReady(e.destPhys, p)
 	}
 	if e.isLoad() {
 		*loadsIssued++
@@ -231,7 +247,18 @@ func (c *Core) doIssue(e *inst, loadsIssued *int) {
 	}
 }
 
-// execute drains the issue-to-execute latches whose time has come.
+// addReplayEvent files a scheduling-misspeculation detection with whichever
+// scheduler implementation is active.
+func (c *Core) addReplayEvent(ev replayEvent) {
+	if c.sched != nil {
+		c.sched.scheduleReplay(ev)
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// execute drains the issue-to-execute latches whose time has come (scan
+// implementation; the event-driven one pops the execute wheel instead).
 func (c *Core) execute() {
 	if len(c.inflight) == 0 {
 		return
@@ -302,7 +329,7 @@ func (c *Core) resolveBranch(e *inst) {
 		c.squashFrom(e.dynID, false)
 		// Rewind the direction history to just before this branch and
 		// record the true outcome.
-		c.tage.Restore(e.snap)
+		c.tage.RestoreFrom(e.snap)
 		c.tage.UpdateHistory(taken)
 		if taken {
 			c.btb.Insert(e.u.PC, e.u.Target)
@@ -368,7 +395,7 @@ func (c *Core) executeLoad(e *inst, lateBy int64) {
 				// re-promise still assumes a hit, after the delay.
 				hitDone := e.loadRes.ServiceCycle + c.l1.LoadToUse()
 				if hitDone > promisedData {
-					c.events = append(c.events, replayEvent{
+					c.addReplayEvent(replayEvent{
 						detect:   c.cycle,
 						reviseTo: hitDone - c.delay() - 1,
 						cause:    causeBank,
@@ -384,7 +411,7 @@ func (c *Core) executeLoad(e *inst, lateBy int64) {
 				if detect < c.cycle {
 					detect = c.cycle
 				}
-				c.events = append(c.events, replayEvent{
+				c.addReplayEvent(replayEvent{
 					detect:   detect,
 					reviseTo: e.doneCycle - c.delay() - 1,
 					cause:    causeMiss,
@@ -399,7 +426,7 @@ func (c *Core) executeLoad(e *inst, lateBy int64) {
 		if w <= c.cycle {
 			w = c.cycle + 1
 		}
-		c.specReady[e.destPhys] = w
+		c.publishSpecReady(e.destPhys, w)
 	}
 }
 
@@ -412,17 +439,23 @@ func (c *Core) executeStore(e *inst) {
 		c.actReady[e.destPhys] = e.doneCycle
 	}
 	c.ss.StoreExecuted(e.u.PC, e.dynID)
+	if c.sched != nil {
+		// Memory-dependence wakeup: µ-ops predicted to order after this
+		// store become schedulable the cycle it executes.
+		c.sched.onStoreExecuted(e)
+	}
 
 	// Memory-order violation: a younger load to the same quadword already
 	// executed and read stale data. Squash-refetch from that load and
-	// train Store Sets (§3.1 "Store Sets").
+	// train Store Sets (§3.1 "Store Sets"). The LQ is age-ordered, so the
+	// scan starts past the younger-than boundary and the first match is
+	// the oldest violator.
 	var victim *inst
-	for _, ld := range c.lq {
-		if ld.dynID > e.dynID && ld.executed && !ld.squashed &&
-			ld.quadword() == e.quadword() {
-			if victim == nil || ld.dynID < victim.dynID {
-				victim = ld
-			}
+	for i := ageSearch(c.lq, e.dynID); i < len(c.lq); i++ {
+		ld := c.lq[i]
+		if ld.executed && !ld.squashed && ld.quadword() == e.quadword() {
+			victim = ld
+			break
 		}
 	}
 	if victim != nil {
@@ -434,16 +467,31 @@ func (c *Core) executeStore(e *inst) {
 	}
 }
 
+// youngestOlderStoreSameQW walks the age-ordered SQ backwards from the
+// load's age boundary; the first same-quadword store found is the youngest
+// older one.
 func (c *Core) youngestOlderStoreSameQW(ld *inst) *inst {
-	var best *inst
-	for _, s := range c.sq {
-		if s.dynID < ld.dynID && s.quadword() == ld.quadword() {
-			if best == nil || s.dynID > best.dynID {
-				best = s
-			}
+	for i := ageSearch(c.sq, ld.dynID) - 1; i >= 0; i-- {
+		if s := c.sq[i]; s.quadword() == ld.quadword() {
+			return s
 		}
 	}
-	return best
+	return nil
+}
+
+// ageSearch returns the index of the first entry of a dynID-ascending
+// queue younger than dynID (i.e. with a larger dynID).
+func ageSearch(q []*inst, dynID int64) int {
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q[mid].dynID <= dynID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // processEvents fires pending schedule-misspeculation events whose
@@ -601,11 +649,11 @@ func (c *Core) commit() {
 			}
 			c.l1.Store(e.u.Addr, e.u.PC, c.cycle)
 			storesThisCycle++
-			c.sq = removeInst(c.sq, e)
+			c.sq = removeOldest(c.sq, e)
 		}
 		if e.isLoad() {
 			c.filter.Update(e.u.PC, e.loadHit)
-			c.lq = removeInst(c.lq, e)
+			c.lq = removeOldest(c.lq, e)
 		}
 		// ROB-head criticality criterion (§5.3): the µ-op completed at
 		// or after the cycle it became the ROB head.
@@ -643,10 +691,17 @@ func (c *Core) squashFrom(dynID int64, inclusive bool) {
 	victims := c.rob[cut:]
 
 	var oldestBranch *inst
-	var refetch []uop.UOp
+	refetch := c.squashRefetch[:0]
 	for i := len(victims) - 1; i >= 0; i-- {
 		v := victims[i]
 		v.squashed = true
+		if c.sched != nil {
+			// Eagerly unlink from consumer/memory-dependence waiter
+			// lists: those are walked through raw pointers and the inst
+			// will be recycled next cycle. (Ready-queue and timing-wheel
+			// entries are purged lazily via the generation check.)
+			c.sched.unlink(v)
+		}
 		if v.renamed && v.destPhys >= 0 {
 			c.rmap.Rollback(v.u.Dest, v.oldPhys, v.destPhys)
 		}
@@ -656,6 +711,7 @@ func (c *Core) squashFrom(dynID int64, inclusive bool) {
 		}
 		v.inBuffer = false
 		v.issued = false
+		v.inReadyQ = false
 		if v.isBranch() {
 			oldestBranch = v
 		}
@@ -664,49 +720,57 @@ func (c *Core) squashFrom(dynID int64, inclusive bool) {
 		}
 		c.graveyard = append(c.graveyard, v)
 	}
+	c.squashRefetch = refetch
 	c.rob = c.rob[:cut]
+
+	// Rebuild the refetch queue into the standby buffer: ROB victims
+	// (oldest first — reverse the youngest-first collection), then
+	// front-end victims (already oldest first), then whatever was pending.
+	// The two backing buffers alternate so steady-state squashes allocate
+	// nothing.
+	merged := c.refetchSpare[:0]
+	for i := len(refetch) - 1; i >= 0; i-- {
+		merged = append(merged, refetch[i])
+	}
 
 	// The front end is entirely younger than anything in the ROB: flush
 	// it, re-queueing correct-path µ-ops.
-	var frontRefetch []uop.UOp
 	for _, v := range c.frontQ {
 		v.squashed = true
 		if !v.u.WrongPath {
-			frontRefetch = append(frontRefetch, v.u)
+			merged = append(merged, v.u)
 		}
 		c.graveyard = append(c.graveyard, v)
 	}
 	c.frontQ = c.frontQ[:0]
 
-	// Rebuild the refetch queue: ROB victims (oldest first — reverse the
-	// youngest-first collection), then front-end victims (already oldest
-	// first), then whatever was pending.
-	merged := make([]uop.UOp, 0, len(refetch)+len(frontRefetch)+len(c.refetchQ))
-	for i := len(refetch) - 1; i >= 0; i-- {
-		merged = append(merged, refetch[i])
-	}
-	merged = append(merged, frontRefetch...)
 	merged = append(merged, c.refetchQ...)
+	c.refetchSpare = c.refetchBase[:0]
+	c.refetchBase = merged
 	c.refetchQ = merged
 
-	// Purge squashed entries from the scheduler-side structures.
-	c.iq = filterSquashed(c.iq)
+	// Purge squashed entries from the scheduler-side structures. The
+	// event-driven implementation has no IQ slice, inflight slice, or
+	// event list to purge — its wheel and heap entries die by generation.
+	if c.sched == nil {
+		c.iq = filterSquashed(c.iq)
+		c.inflight = filterSquashed(c.inflight)
+		evs := c.events[:0]
+		for _, ev := range c.events {
+			if !ev.load.squashed {
+				evs = append(evs, ev)
+			}
+		}
+		c.events = evs
+	}
 	c.lq = filterSquashed(c.lq)
 	c.sq = filterSquashed(c.sq)
 	c.recovery = filterSquashed(c.recovery)
-	c.inflight = filterSquashed(c.inflight)
-	evs := c.events[:0]
-	for _, ev := range c.events {
-		if !ev.load.squashed {
-			evs = append(evs, ev)
-		}
-	}
-	c.events = evs
 
 	// Rewind the branch-history to before the oldest squashed branch; a
 	// mispredicting resolver will override with its own snapshot.
 	if oldestBranch != nil {
-		c.tage.Restore(oldestBranch.snap)
+		c.tage.RestoreFrom(oldestBranch.snap)
 	}
 	c.ss.SquashAfter(dynID)
 }
@@ -755,6 +819,17 @@ func removeInst(in []*inst, e *inst) []*inst {
 		}
 	}
 	return in
+}
+
+// removeOldest removes e from an age-ordered queue. In-order commit always
+// retires the queue head, so this is O(1) head consumption (the queues'
+// append helpers copy the live window down when the backing buffer's tail
+// is reached); the splice fallback keeps it correct for any caller.
+func removeOldest(in []*inst, e *inst) []*inst {
+	if len(in) > 0 && in[0] == e {
+		return in[1:]
+	}
+	return removeInst(in, e)
 }
 
 func maxI64(a, b int64) int64 {

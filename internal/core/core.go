@@ -57,7 +57,10 @@ type Core struct {
 	bankp  *predict.BankPredictor
 
 	stream uop.Stream
-	wp     *trace.WrongPath
+	// streamInto is stream's optional copy-free fast path, resolved once
+	// at construction.
+	streamInto uop.StreamInto
+	wp         *trace.WrongPath
 
 	cycle int64
 
@@ -86,6 +89,23 @@ type Core struct {
 
 	events []replayEvent
 
+	// sched is the event-driven scheduler state (config.SchedEvent); nil
+	// selects the legacy scan implementation.
+	sched *eventSched
+
+	// Pre-sized buffers backing the ROB/front-end FIFOs and the refetch
+	// queue so the steady-state simulate loop allocates nothing: the FIFOs
+	// re-slice from the front and copy down when their tail reaches the
+	// buffer end; the refetch queue alternates between two buffers on
+	// rebuild.
+	robBuf        []*inst
+	frontBuf      []*inst
+	lqBuf         []*inst
+	sqBuf         []*inst
+	refetchBase   []uop.UOp
+	refetchSpare  []uop.UOp
+	squashRefetch []uop.UOp
+
 	// Unpipelined units: earliest next issue cycle.
 	divFree   int64
 	fpDivFree [2]int64
@@ -96,9 +116,11 @@ type Core struct {
 
 	// pool recycles inst allocations; graveyard holds squashed entries
 	// until the next cycle boundary so no in-flight iteration can observe
-	// a recycled instruction.
+	// a recycled instruction. snapPool recycles the branch-history
+	// snapshots branches carry.
 	pool      []*inst
 	graveyard []*inst
+	snapPool  []*bpred.Snapshot
 
 	// Measurement.
 	run           *stats.Run
@@ -144,11 +166,104 @@ func New(cfg config.CoreConfig, stream uop.Stream, wpSeed uint64) (*Core, error)
 	}
 	c.l2 = cache.NewL2(&cfg, dramAdapter{c.mem})
 	c.l1 = cache.NewL1D(&cfg, c.l2)
+	if si, ok := stream.(uop.StreamInto); ok {
+		c.streamInto = si
+	}
 	n := c.rmap.TotalPhys()
 	c.specReady = make([]int64, n)
 	c.actReady = make([]int64, n)
 	c.issueBlock = -1
+	c.robBuf = make([]*inst, 0, 2*cfg.ROBEntries)
+	c.rob = c.robBuf
+	frontCap := cfg.FrontendDepth*cfg.FetchWidth + cfg.FetchWidth
+	c.frontBuf = make([]*inst, 0, 2*frontCap+cfg.FetchWidth)
+	c.frontQ = c.frontBuf
+	c.lqBuf = make([]*inst, 0, 2*cfg.LQEntries)
+	c.lq = c.lqBuf
+	c.sqBuf = make([]*inst, 0, 2*cfg.SQEntries)
+	c.sq = c.sqBuf
+	// Pre-size the pools and squash scratch buffers to their structural
+	// bounds so the steady-state simulate loop never allocates: at most
+	// ROB + front-end µ-ops are live, another window's worth can sit in
+	// the graveyard for one cycle, and a squash re-queues at most one
+	// window of correct-path µ-ops.
+	window := cfg.ROBEntries + frontCap + cfg.FetchWidth
+	arena := make([]inst, 2*window)
+	c.pool = make([]*inst, 0, 4*window)
+	for i := range arena {
+		c.pool = append(c.pool, &arena[i])
+	}
+	snaps := make([]bpred.Snapshot, window)
+	c.snapPool = make([]*bpred.Snapshot, 0, 2*window)
+	for i := range snaps {
+		c.snapPool = append(c.snapPool, &snaps[i])
+	}
+	c.squashRefetch = make([]uop.UOp, 0, window)
+	c.refetchBase = make([]uop.UOp, 0, 2*window)
+	c.refetchSpare = make([]uop.UOp, 0, 2*window)
+	c.graveyard = make([]*inst, 0, 2*window)
+	if cfg.Scheduler == config.SchedEvent {
+		c.sched = newEventSched(c)
+	}
 	return c, nil
+}
+
+// publishSpecReady writes the speculative scoreboard and, under the
+// event-driven scheduler, schedules the consumer wakeup the write implies.
+// Every specReady store in shared code must go through here.
+func (c *Core) publishSpecReady(p int, t int64) {
+	c.specReady[p] = t
+	if c.sched != nil {
+		c.sched.onPublish(p, t)
+	}
+}
+
+// robAppend appends to the ROB FIFO, copying the live window back to the
+// start of the backing buffer when the tail reaches its end (the head is
+// consumed by re-slicing in commit). Amortized alloc-free.
+func (c *Core) robAppend(e *inst) {
+	if len(c.rob) == cap(c.rob) {
+		n := copy(c.robBuf[:cap(c.robBuf)], c.rob)
+		c.rob = c.robBuf[:n]
+	}
+	c.rob = append(c.rob, e)
+}
+
+// frontAppend is robAppend for the front-end delay queue.
+func (c *Core) frontAppend(e *inst) {
+	if len(c.frontQ) == cap(c.frontQ) {
+		n := copy(c.frontBuf[:cap(c.frontBuf)], c.frontQ)
+		c.frontQ = c.frontBuf[:n]
+	}
+	c.frontQ = append(c.frontQ, e)
+}
+
+// lqAppend and sqAppend are robAppend for the load and store queues, whose
+// heads are consumed by removeOldest at commit.
+func (c *Core) lqAppend(e *inst) {
+	if len(c.lq) == cap(c.lq) {
+		n := copy(c.lqBuf[:cap(c.lqBuf)], c.lq)
+		c.lq = c.lqBuf[:n]
+	}
+	c.lq = append(c.lq, e)
+}
+
+func (c *Core) sqAppend(e *inst) {
+	if len(c.sq) == cap(c.sq) {
+		n := copy(c.sqBuf[:cap(c.sqBuf)], c.sq)
+		c.sq = c.sqBuf[:n]
+	}
+	c.sq = append(c.sq, e)
+}
+
+// insertRecovery inserts one squashed µ-op into the age-ordered recovery
+// buffer (the event-driven replacement for batch mergeByAge).
+func (c *Core) insertRecovery(e *inst) {
+	c.recovery = append(c.recovery, e)
+	for i := len(c.recovery) - 1; i > 0 && c.recovery[i-1].dynID > e.dynID; i-- {
+		c.recovery[i] = c.recovery[i-1]
+		c.recovery[i-1] = e
+	}
 }
 
 // MustNew is New for known-good configurations (presets); it panics on
@@ -184,12 +299,24 @@ func (c *Core) Step() {
 	c.commit()
 	c.missThisCycle = false
 	c.loadThisCycle = false
-	c.execute()
+	if c.sched != nil {
+		c.sched.execute()
+	} else {
+		c.execute()
+	}
 	if c.loadThisCycle {
 		c.gctr.Tick(c.missThisCycle)
 	}
-	c.processEvents()
-	c.issue()
+	if c.sched != nil {
+		c.sched.processEvents()
+	} else {
+		c.processEvents()
+	}
+	if c.sched != nil {
+		c.sched.issue()
+	} else {
+		c.issue()
+	}
 	c.dispatch()
 	c.fetch()
 	c.run.Cycles++

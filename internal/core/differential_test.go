@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"specsched/internal/config"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+	"specsched/internal/uop"
+)
+
+// The event-driven scheduler (config.SchedEvent) is a pure simulator
+// optimization: it must be cycle-exact against the scan implementation —
+// identical cycle counts, IPC, replay counts, and every other
+// architecturally meaningful counter — on every workload, replay scheme,
+// and preset. These tests run both implementations side by side and
+// compare entire stats.Run records (with the simulator-side scheduler
+// diagnostics masked, since only the event implementation counts wakeups).
+
+func runImpl(t *testing.T, cfg config.CoreConfig, s uop.Stream, seed uint64, impl config.SchedulerImpl, warm, measure int64) *stats.Run {
+	t.Helper()
+	cfg.Scheduler = impl
+	c, err := New(cfg, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetWorkloadName("diff")
+	return c.Run(warm, measure)
+}
+
+func compareRuns(t *testing.T, label string, scan, event *stats.Run) {
+	t.Helper()
+	a, b := scan.MaskSchedulerCounters(), event.MaskSchedulerCounters()
+	if a != b {
+		t.Errorf("%s: scan and event-driven schedulers diverged\n scan: %+v\nevent: %+v",
+			label, a, b)
+	}
+}
+
+// TestDifferentialWorkloadsSchemesSeeds is the headline equivalence matrix:
+// six Table 2 workloads × all three replay schemes × three wrong-path
+// seeds, on the paper's principal configuration (SpecSched_4, banked L1).
+func TestDifferentialWorkloadsSchemesSeeds(t *testing.T) {
+	workloads := []string{"swim", "hmmer", "xalancbmk", "libquantum", "mcf", "gzip"}
+	schemes := []config.ReplayScheme{
+		config.RecoveryBuffer, config.IQRetention, config.SelectiveReplay,
+	}
+	seeds := []uint64{0, 1000, 77777}
+	if testing.Short() {
+		workloads = workloads[:3]
+		seeds = seeds[:1]
+	}
+	for _, wl := range workloads {
+		p, err := trace.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range schemes {
+			for _, ds := range seeds {
+				cfg, err := config.Preset("SpecSched_4")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Replay = scheme
+				seed := p.Seed + ds
+				scan := runImpl(t, cfg, trace.New(p), seed, config.SchedScan, 2000, 8000)
+				event := runImpl(t, cfg, trace.New(p), seed, config.SchedEvent, 2000, 8000)
+				compareRuns(t, wl+"/"+scheme.String(), scan, event)
+			}
+		}
+	}
+}
+
+// TestDifferentialAcrossPresets sweeps the paper's preset family (delays,
+// mitigations, banked vs dual-ported L1, conservative baselines) on two
+// contrasting workloads.
+func TestDifferentialAcrossPresets(t *testing.T) {
+	presets := []string{
+		"Baseline_0", "Baseline_6", "Baseline_0_1ld",
+		"SpecSched_2", "SpecSched_4_dual", "SpecSched_6",
+		"SpecSched_4_Shift", "SpecSched_4_BankPred", "SpecSched_4_Ctr",
+		"SpecSched_4_Filter", "SpecSched_4_Combined", "SpecSched_4_Crit",
+	}
+	if testing.Short() {
+		presets = []string{"Baseline_0", "SpecSched_4_Crit"}
+	}
+	for _, preset := range presets {
+		for _, wl := range []string{"xalancbmk", "swim"} {
+			p, err := trace.ByName(wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := config.Preset(preset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedScan, 2000, 8000)
+			event := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedEvent, 2000, 8000)
+			compareRuns(t, preset+"/"+wl, scan, event)
+		}
+	}
+}
+
+// TestDifferentialKernels covers the exact-semantics kernels, whose issue
+// patterns (serial chains, paired same-bank loads, pointer chases) stress
+// wakeup ordering differently from the profile generator.
+func TestDifferentialKernels(t *testing.T) {
+	kernels := map[string]func() uop.Stream{
+		"chase-l1":   func() uop.Stream { return trace.NewPointerChase(3, 256) },
+		"chase-dram": func() uop.Stream { return trace.NewPointerChase(7, 1<<18) },
+		"stream":     func() uop.Stream { return trace.NewStreamSum(16 << 10) },
+		"stencil":    func() uop.Stream { return trace.NewStencil(16 << 10) },
+	}
+	for name, mk := range kernels {
+		for _, preset := range []string{"SpecSched_4", "SpecSched_4_Crit", "Baseline_4"} {
+			cfg, err := config.Preset(preset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan := runImpl(t, cfg, mk(), 11, config.SchedScan, 1000, 8000)
+			event := runImpl(t, cfg, mk(), 11, config.SchedEvent, 1000, 8000)
+			compareRuns(t, preset+"/"+name, scan, event)
+		}
+	}
+}
+
+// TestDifferentialWideWindow checks equivalence on an enlarged machine
+// (256-entry IQ, 512-entry ROB) — the regime where the scan scheduler's
+// O(window) cost dominates and an event-driven bug would most plausibly
+// hide behind rare structural stalls.
+func TestDifferentialWideWindow(t *testing.T) {
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = config.WideWindow(cfg)
+	for _, wl := range []string{"mcf", "xalancbmk"} {
+		p, err := trace.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedScan, 2000, 8000)
+		event := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedEvent, 2000, 8000)
+		compareRuns(t, "IQ256/"+wl, scan, event)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"specsched/internal/bpred"
 	"specsched/internal/uop"
 )
 
@@ -16,22 +17,25 @@ func (c *Core) fetch() {
 	capacity := c.cfg.FrontendDepth*c.cfg.FetchWidth + c.cfg.FetchWidth
 	budget := c.cfg.FetchWidth
 	for budget > 0 && len(c.frontQ) < capacity {
-		var u uop.UOp
+		e := c.newInst()
 		switch {
 		case c.wrongPath:
-			u = c.wp.Next()
+			c.wp.NextInto(&e.u)
 		case len(c.refetchQ) > 0:
-			u = c.refetchQ[0]
+			e.u = c.refetchQ[0]
 			c.refetchQ = c.refetchQ[1:]
 		default:
-			var ok bool
-			u, ok = c.stream.Next()
+			ok := false
+			if c.streamInto != nil {
+				ok = c.streamInto.NextInto(&e.u)
+			} else {
+				e.u, ok = c.stream.Next()
+			}
 			if !ok {
+				c.pool = append(c.pool, e)
 				return
 			}
 		}
-		e := c.newInst()
-		e.u = u
 		e.dynID = c.nextDynID
 		e.readyAt = c.cycle + int64(c.cfg.FrontendDepth)
 		c.nextDynID++
@@ -45,18 +49,27 @@ func (c *Core) fetch() {
 				budget = 0
 			}
 		}
-		c.frontQ = append(c.frontQ, e)
+		c.frontAppend(e)
 	}
 }
 
 // newInst returns a zeroed instruction record, recycling retired and
-// squashed ones.
+// squashed ones. The recycling generation survives the reset: lazily
+// purged scheduler structures use it to recognize stale references to a
+// recycled record.
 func (c *Core) newInst() *inst {
 	var e *inst
 	if n := len(c.pool); n > 0 {
 		e = c.pool[n-1]
 		c.pool = c.pool[:n-1]
-		*e = inst{}
+		if e.snap != nil {
+			c.snapPool = append(c.snapPool, e.snap)
+		}
+		gen := e.gen
+		// Reset the pipeline state only: u is overwritten in full by
+		// whichever fetch path fills this record next.
+		e.instState = instState{}
+		e.gen = gen + 1
 	} else {
 		e = &inst{}
 	}
@@ -70,7 +83,13 @@ func (c *Core) newInst() *inst {
 // predictBranch runs the front-end predictors for a conditional branch and
 // decides whether fetch must divert to the wrong path.
 func (c *Core) predictBranch(e *inst) {
-	e.snap = c.tage.Snapshot()
+	if n := len(c.snapPool); n > 0 {
+		e.snap = c.snapPool[n-1]
+		c.snapPool = c.snapPool[:n-1]
+	} else {
+		e.snap = new(bpred.Snapshot)
+	}
+	c.tage.SnapshotInto(e.snap)
 	e.pred = c.tage.Predict(e.u.PC)
 	e.predTaken = e.pred.Taken
 	if e.predTaken {
@@ -124,21 +143,28 @@ func (c *Core) dispatch() {
 		c.frontQ = c.frontQ[1:]
 		width--
 		c.rename(e)
-		c.rob = append(c.rob, e)
-		c.iq = append(c.iq, e)
+		c.robAppend(e)
+		if c.sched == nil {
+			c.iq = append(c.iq, e)
+		}
 		e.inIQ = true
 		c.iqCount++
 		switch {
 		case e.isLoad():
-			c.lq = append(c.lq, e)
+			c.lqAppend(e)
 			if dep, ok := c.ss.RenameLoad(e.u.PC); ok {
 				e.memDepID = dep
 			}
 		case e.isStore():
-			c.sq = append(c.sq, e)
+			c.sqAppend(e)
 			if dep, ok := c.ss.RenameStore(e.u.PC, e.dynID); ok {
 				e.memDepID = dep
 			}
+		}
+		if c.sched != nil {
+			// Event-driven dispatch: ready µ-ops enter the ready queue,
+			// the rest subscribe to their first unavailable source.
+			c.sched.enqueue(e)
 		}
 	}
 }
@@ -158,7 +184,7 @@ func (c *Core) rename(e *inst) {
 			panic("core: rename called without a free physical register")
 		}
 		e.destPhys, e.oldPhys = newP, oldP
-		c.specReady[newP] = infinity
+		c.publishSpecReady(newP, infinity)
 		c.actReady[newP] = infinity
 	}
 	e.renamed = true

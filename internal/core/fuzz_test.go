@@ -6,6 +6,7 @@ import (
 
 	"specsched/internal/config"
 	"specsched/internal/rng"
+	"specsched/internal/stats"
 	"specsched/internal/trace"
 	"specsched/internal/uop"
 )
@@ -83,6 +84,13 @@ func randomConfig(seed uint64) config.CoreConfig {
 	if r.Bool(0.2) {
 		cfg.PrefetchEnable = false
 	}
+	// Exercise both wakeup/select implementations; the differential fuzz
+	// below additionally pins them against each other.
+	if r.Bool(0.5) {
+		cfg.Scheduler = config.SchedScan
+	} else {
+		cfg.Scheduler = config.SchedEvent
+	}
 	cfg.Name = fmt.Sprintf("fuzz-cfg-%d", seed)
 	return cfg
 }
@@ -133,6 +141,39 @@ func TestFuzzCoreInvariants(t *testing.T) {
 				t.Errorf("seed %d: issued (%d) < unique (%d)", seed, r.Issued, r.Unique)
 			}
 		}()
+	}
+}
+
+// TestFuzzDifferentialScanVsEvent drives random configurations against
+// random workloads under BOTH scheduler implementations and requires
+// bit-identical statistics — the strongest evidence that the event-driven
+// rewrite models exactly the same machine across the whole configuration
+// space (window sizes, widths, replay schemes, interleavings).
+func TestFuzzDifferentialScanVsEvent(t *testing.T) {
+	n := 20
+	if testing.Short() {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		seed := uint64(i*104729 + 7)
+		cfg := randomConfig(seed)
+		prof := randomProfile(seed)
+		if prof.Validate() != nil {
+			continue
+		}
+		runs := [2]*stats.Run{}
+		for k, impl := range []config.SchedulerImpl{config.SchedScan, config.SchedEvent} {
+			cfg := cfg
+			cfg.Scheduler = impl
+			c := MustNew(cfg, trace.New(prof), seed)
+			c.SetWorkloadName(prof.Name)
+			runs[k] = c.Run(1000, 6000)
+		}
+		a, b := runs[0].MaskSchedulerCounters(), runs[1].MaskSchedulerCounters()
+		if a != b {
+			t.Errorf("seed %d (cfg %s, profile %s): schedulers diverged\n scan: %+v\nevent: %+v",
+				seed, cfg.Name, prof.Name, a, b)
+		}
 	}
 }
 

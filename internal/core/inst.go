@@ -12,9 +12,16 @@ const infinity = int64(1) << 60
 // inst is one dynamic µ-op in flight, from fetch to retirement. It carries
 // all per-instruction pipeline state; the core's structures (frontend
 // queue, ROB, IQ, LSQ, recovery buffer, issue-to-execute latches) hold
-// pointers into a single allocation per dynamic µ-op.
+// pointers into a single allocation per dynamic µ-op. The pipeline state
+// lives in the embedded instState so pool recycling can zero it without
+// touching u, which every fetch path overwrites in full.
 type inst struct {
 	u uop.UOp
+	instState
+}
+
+// instState is every per-µ-op field except the µ-op itself.
+type instState struct {
 	// dynID is the core-local dynamic ordering id (allocated at fetch,
 	// monotone; wrong-path µ-ops get ids too, unlike u.Seq).
 	dynID int64
@@ -50,9 +57,11 @@ type inst struct {
 	loadDone  bool
 	forwarded bool
 
-	// Branch state.
+	// Branch state. snap is pooled by the core and set for branches only —
+	// inlining it would grow (and force zeroing of) every µop record by
+	// the size of the captured TAGE folded state.
 	pred       bpred.Prediction
-	snap       bpred.Snapshot
+	snap       *bpred.Snapshot
 	predTaken  bool
 	predTarget uint64
 	mispred    bool
@@ -63,7 +72,35 @@ type inst struct {
 	// Retirement bookkeeping.
 	becameHead int64 // cycle this entry became the ROB head
 	squashed   bool
+
+	// Event-driven scheduler state (config.SchedEvent only). gen is the
+	// pool-recycling generation: it survives newInst resets and lets the
+	// lazily-purged structures (ready heap, timing-wheel slots) detect
+	// entries whose inst has been recycled for a different dynamic µ-op.
+	gen uint32
+	// An unready µ-op subscribes to exactly one wakeup source at a time:
+	// either a physical register's consumer list or a store's memory-
+	// dependence waiter list, linked intrusively through waitPrev/waitNext.
+	waitKind waitKind
+	waitReg  int   // subscribed physical register (waitOnReg)
+	waitOn   *inst // subscribed store (waitOnStore)
+	waitPrev *inst
+	waitNext *inst
+	// memWaitHead heads the waiter list of µ-ops whose predicted memory
+	// dependence points at this store.
+	memWaitHead *inst
+	// inReadyQ marks live membership in the age-ordered ready queue.
+	inReadyQ bool
 }
+
+// waitKind labels what an unready µ-op is subscribed to.
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	waitOnReg
+	waitOnStore
+)
 
 func (e *inst) isLoad() bool   { return e.u.Class == uop.ClassLoad }
 func (e *inst) isStore() bool  { return e.u.Class == uop.ClassStore }
@@ -101,4 +138,9 @@ type replayEvent struct {
 	reviseTo int64
 	cause    replayCause
 	load     *inst
+	// gen snapshots load.gen at creation; the event-driven scheduler's
+	// timing wheel uses it to drop events whose load was squashed and
+	// recycled before the detection cycle arrived. The scan scheduler
+	// filters on load.squashed every cycle instead and ignores it.
+	gen uint32
 }

@@ -1,0 +1,933 @@
+package core
+
+import (
+	"fmt"
+
+	"specsched/internal/config"
+	"specsched/internal/uop"
+)
+
+// This file implements the event-driven wakeup/select scheduler
+// (config.SchedEvent). It models exactly the same machine as the scan
+// scheduler in backend.go — the two must produce bit-identical statistics —
+// but its simulator cost is proportional to *events* (issues, completions,
+// wakeups, replays) instead of window size:
+//
+//   - Per-physical-register consumer lists: a µ-op whose ready() predicate
+//     fails subscribes to the first unavailable source (a physical register
+//     or a predicted store dependence) and sleeps until that source
+//     publishes a wakeup, instead of being re-polled every cycle.
+//   - An age-ordered ready queue (binary min-heap on dynID): the issue
+//     stage pops ready µ-ops oldest-first, matching the scan's oldest-first
+//     selection exactly, and re-verifies ready() at pop time so that
+//     revised or invalidated promises (replays) are honoured.
+//   - Timing wheels keyed by cycle replace the per-cycle scans over
+//     c.events (replay detections) and c.inflight (issue-to-execute
+//     latches): register wakeups, FU completions, and scheduling-
+//     misspeculation detections all fire in the cycle they are due.
+//
+// Readiness is not monotone under speculative scheduling — a load's promise
+// can be revised later (bank conflict, miss) or withdrawn entirely (squash
+// to the recovery buffer sets specReady to infinity) — so the structures
+// are *candidate* sets, not truth: every pop re-checks ready() and
+// re-subscribes on failure. Completeness holds because a µ-op only ever
+// sleeps on a source whose specReady lies in the future, and every write
+// that moves a specReady entry to a finite cycle schedules a wakeup.
+//
+// Stale pointers are handled with generation counters: squashed µ-ops are
+// recycled through the inst pool one cycle after their squash, so the
+// lazily-purged heap and wheel entries snapshot inst.gen and are dropped on
+// mismatch. Consumer lists are the exception — they are walked through raw
+// pointers — so squashFrom unlinks victims eagerly (schedUnlink).
+
+// wheelItem is one scheduled entry; at disambiguates entries hashed onto
+// the same slot from different wheel revolutions.
+type wheelItem[T any] struct {
+	at int64
+	v  T
+}
+
+// wheel is a single-level timing wheel: a power-of-two ring of slots
+// indexed by cycle. Entries beyond one revolution stay in their slot and
+// are skipped (and retained) until their revolution comes around — an
+// overflow list is unnecessary because collect compacts in place. A
+// per-slot occupancy bitmap (two cache lines for a 1K-slot wheel) makes
+// the every-cycle emptiness probe an L1 hit instead of a stroll through
+// the 24-byte slot headers.
+type wheel[T any] struct {
+	mask  int64
+	slots [][]wheelItem[T]
+	bits  []uint64
+}
+
+// newWheel builds a wheel of at least minSize slots, each pre-sized to
+// slotCap entries so the steady-state simulate loop never grows a slot
+// (growth beyond slotCap still works; the enlarged backing is kept).
+func newWheel[T any](minSize, slotCap int) wheel[T] {
+	size := 8
+	for size < minSize {
+		size *= 2
+	}
+	w := wheel[T]{
+		mask:  int64(size - 1),
+		slots: make([][]wheelItem[T], size),
+		bits:  make([]uint64, (size+63)/64),
+	}
+	if slotCap > 0 {
+		backing := make([]wheelItem[T], size*slotCap)
+		for i := range w.slots {
+			w.slots[i] = backing[i*slotCap : i*slotCap : (i+1)*slotCap]
+		}
+	}
+	return w
+}
+
+// busy reports whether the slot for cycle now holds any entries (of any
+// revolution).
+func (w *wheel[T]) busy(now int64) bool {
+	i := now & w.mask
+	return w.bits[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// schedule inserts v to fire at cycle at (strictly in the future of the
+// caller's current cycle; same-cycle work lands in the slot its phase is
+// about to collect).
+func (w *wheel[T]) schedule(at int64, v T) {
+	i := at & w.mask
+	w.bits[i>>6] |= 1 << uint(i&63)
+	s := &w.slots[i]
+	*s = append(*s, wheelItem[T]{at: at, v: v})
+}
+
+// collect appends every entry due at cycle now to dst, keeping future-
+// revolution entries in place, and returns the extended dst.
+func (w *wheel[T]) collect(now int64, dst []T) []T {
+	i := now & w.mask
+	s := w.slots[i]
+	if len(s) == 0 {
+		return dst
+	}
+	keep := s[:0]
+	for _, it := range s {
+		if it.at == now {
+			dst = append(dst, it.v)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	w.slots[i] = keep
+	if len(keep) == 0 {
+		w.bits[i>>6] &^= 1 << uint(i&63)
+	}
+	return dst
+}
+
+// readyEntry is one candidate in the age-ordered ready queue. epoch
+// snapshots the scheduler's revision epoch at enqueue: while no promise
+// has been revised since (see eventSched.revEpoch), the entry's readiness
+// verdict still stands and the pop-time re-check is skipped.
+type readyEntry struct {
+	dynID int64
+	gen   uint32
+	epoch uint32
+	e     *inst
+}
+
+// readyList is the age-ordered ready queue: a dynID-sorted window inside a
+// backing buffer, iterated (not popped) by the issue stage, with incoming
+// candidates batched and folded in once per issue cycle. The window keeps
+// slack on both sides: issue consumes the oldest entries, so the common
+// compaction is an O(1) front advance, and the vacated front doubles as a
+// prepend area for woken candidates older than the queue. Only arrivals
+// that interleave with resident entries pay a real merge.
+type readyList struct {
+	buf    []readyEntry // backing; live entries are buf[off : off+n]
+	off, n int
+	spare  []readyEntry // standby backing for the merge (buffers alternate)
+	batch  []readyEntry // unsorted arrivals since the last fold
+}
+
+// frontSlack is the prepend headroom left when a list is (re)built.
+const frontSlack = 16
+
+func (l *readyList) live() []readyEntry { return l.buf[l.off : l.off+l.n] }
+
+func (l *readyList) add(ent readyEntry) { l.batch = append(l.batch, ent) }
+
+func (l *readyList) len() int { return l.n + len(l.batch) }
+
+// place rebuilds the live window from sorted src, leaving front slack.
+func (l *readyList) place(src []readyEntry) {
+	need := len(src) + frontSlack
+	if cap(l.buf) < need {
+		l.buf = make([]readyEntry, 2*need)
+	}
+	l.buf = l.buf[:cap(l.buf)]
+	l.off = frontSlack
+	l.n = copy(l.buf[l.off:], src)
+}
+
+// Functional-unit families, mirroring the budget classes of takeFU. The
+// ready queue is segregated by family so that a cycle whose budget for a
+// family is exhausted skips that family's entire queue in O(1) — on
+// port-saturated workloads (streaming loads, FP-bound codes) this is the
+// difference between O(ready) and O(issued) select cost. A family is
+// skipped exactly when takeFU would fail every µop in it, so selection
+// order is unchanged.
+const (
+	famALU = iota
+	famMulDiv
+	famFP
+	famFPMulDiv
+	famLoad
+	famStore
+	numFam
+)
+
+func fuFamily(cl uop.Class) int {
+	switch cl {
+	case uop.ClassMul, uop.ClassDiv:
+		return famMulDiv
+	case uop.ClassFP:
+		return famFP
+	case uop.ClassFPMul, uop.ClassFPDiv:
+		return famFPMulDiv
+	case uop.ClassLoad:
+		return famLoad
+	case uop.ClassStore:
+		return famStore
+	default: // ALU, Branch, Nop
+		return famALU
+	}
+}
+
+// famBlocked reports whether every µop of family f would fail takeFU this
+// cycle on budget alone (unit-occupancy checks — unpipelined divides —
+// still run per µop in takeFU).
+func famBlocked(f int, b *fuBudget) bool {
+	switch f {
+	case famALU:
+		return b.alu == 0
+	case famMulDiv:
+		return b.mulDiv == 0
+	case famFP:
+		return b.fp == 0
+	case famFPMulDiv:
+		return b.fpMulDiv == 0
+	case famLoad:
+		return b.ldst == 0 || b.loads == 0
+	default: // famStore
+		return b.ldst == 0 || b.stores == 0
+	}
+}
+
+// prepare merges the arrival batch into the sorted list; called once at
+// the top of each issue cycle. Batches are small (bounded by rename width
+// plus woken consumers), so an insertion sort beats the sort.Slice
+// indirection and allocates nothing.
+func (l *readyList) prepare() {
+	b := l.batch
+	if len(b) == 0 {
+		return
+	}
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j].dynID < b[j-1].dynID; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+	l.batch = b[:0]
+	live := l.live()
+	switch {
+	case l.n == 0:
+		l.place(b)
+	case b[0].dynID > live[l.n-1].dynID:
+		// Dispatch-driven arrivals are the youngest µops in the machine:
+		// extend at the back (recentering when the buffer's tail is hit).
+		if l.off+l.n+len(b) > cap(l.buf) {
+			l.buf = l.buf[:cap(l.buf)]
+			if frontSlack+l.n+len(b) > cap(l.buf) {
+				grown := make([]readyEntry, 2*(frontSlack+l.n+len(b)))
+				copy(grown[frontSlack:], live)
+				l.buf = grown
+			} else {
+				copy(l.buf[frontSlack:], live)
+			}
+			l.off = frontSlack
+			live = l.live()
+		}
+		l.n += copy(l.buf[l.off+l.n:], b)
+	case b[len(b)-1].dynID < live[0].dynID && l.off >= len(b):
+		// Woken candidates older than everything queued: prepend into the
+		// slack the front advance leaves behind.
+		l.off -= len(b)
+		l.n += len(b)
+		copy(l.buf[l.off:], b)
+	default:
+		// Interleaved arrivals: genuine merge into the standby buffer.
+		need := l.n + len(b) + frontSlack
+		if cap(l.spare) < need {
+			l.spare = make([]readyEntry, 2*need)
+		}
+		merged := l.spare[:cap(l.spare)][frontSlack:frontSlack]
+		i, j := 0, 0
+		for i < l.n && j < len(b) {
+			if live[i].dynID <= b[j].dynID {
+				merged = append(merged, live[i])
+				i++
+			} else {
+				merged = append(merged, b[j])
+				j++
+			}
+		}
+		merged = append(merged, live[i:]...)
+		merged = append(merged, b[j:]...)
+		l.spare, l.buf = l.buf, l.spare[:cap(l.spare)]
+		l.off = frontSlack
+		l.n = len(merged)
+	}
+}
+
+// execEntry is one issue-to-execute latch entry on the execute wheel.
+type execEntry struct {
+	e   *inst
+	gen uint32
+}
+
+// eventSched holds all event-driven scheduler state for one core.
+type eventSched struct {
+	c *Core
+
+	// ready is the age-ordered ready queue for IQ-side candidates,
+	// segregated by functional-unit family (the recovery buffer keeps its
+	// own age-ordered slice and replay-priority scan, per §3.1 — its size
+	// is already event-proportional). readyTotal counts entries across all
+	// families and batches so the per-cycle idle check is one compare.
+	ready      [numFam]readyList
+	readyTotal int
+
+	// revEpoch advances whenever a published promise is revised — which
+	// happens only when replay events fire (processEvents): a ready
+	// source register cannot otherwise move back to the future while its
+	// consumer is un-issued (its physical register cannot be reallocated
+	// before the consumer commits, and first-time promises only concern
+	// registers that were still infinity). Ready-queue entries enqueued at
+	// the current epoch therefore need no pop-time ready() re-check.
+	revEpoch uint32
+
+	// consHead[p] heads the intrusive consumer list of physical register p.
+	consHead []*inst
+	// regWakeAt[p] is the cycle of the most recently scheduled wakeup for
+	// p — a dedup hint so fan-out subscriptions don't multiply wheel
+	// entries; correctness never depends on it.
+	regWakeAt []int64
+
+	// Each wheel is collected directly by the pipeline phase it feeds:
+	// execWheel by execute, replayWheel by processEvents, regWheel by
+	// issue. Same-cycle insertions land in the slot being collected later
+	// in the same Step (detections during execute fire in this cycle's
+	// processEvents; promises published during any phase are strictly
+	// future), so no staging lists are needed.
+	regWheel    wheel[int32]
+	execWheel   wheel[execEntry]
+	replayWheel wheel[replayEvent]
+
+	// Scratch for per-cycle drains, squash walks, and poison propagation
+	// (selective replay).
+	regScratch   []int32
+	firedScratch []replayEvent
+	inflScratch  []*inst
+	execScratch  []*inst
+	poisonMark   []int64
+	poisonEpoch  int64
+}
+
+func newEventSched(c *Core) *eventSched {
+	n := c.rmap.TotalPhys()
+	s := &eventSched{
+		c:         c,
+		consHead:  make([]*inst, n),
+		regWakeAt: make([]int64, n),
+		// Register wakeups and replay detections can land a DRAM round
+		// trip (plus queueing) in the future; one-K slots keep nearly all
+		// of them within a single revolution.
+		regWheel:    newWheel[int32](1024, 8),
+		replayWheel: newWheel[replayEvent](1024, 2),
+		// Issue-to-execute completions are bounded by D+1 cycles out.
+		execWheel:  newWheel[execEntry](c.cfg.IssueToExecuteDelay+2, 2*c.cfg.IssueWidth),
+		poisonMark: make([]int64, n),
+	}
+	for i := range s.regWakeAt {
+		s.regWakeAt[i] = -1
+	}
+	return s
+}
+
+// ---- consumer lists -------------------------------------------------------
+
+// parkTarget evaluates e's sources in one scoreboard pass and picks the
+// wakeup source to park on: an unready register (reg >= 0), an unexecuted
+// predicted-dependence store (st != nil), or neither — e is ready. Among
+// unready registers the one with the latest promise is preferred
+// (withdrawn — i.e. infinite — beats finite): any currently-unready source
+// keeps the candidate-set complete, and parking on the latest one
+// minimizes wake-then-repark round trips for two-source µops. A satisfied
+// memory dependence is memoized away (monotone while e lives, see ready).
+func (s *eventSched) parkTarget(e *inst) (reg int, st *inst) {
+	c := s.c
+	best, bestT := -1, int64(-1)
+	if e.src1Phys >= 0 {
+		if t := c.specReady[e.src1Phys]; t > c.cycle {
+			best, bestT = e.src1Phys, t
+		}
+	}
+	if e.src2Phys >= 0 {
+		if t := c.specReady[e.src2Phys]; t > c.cycle && t > bestT {
+			best = e.src2Phys
+		}
+	}
+	if best >= 0 {
+		return best, nil
+	}
+	if e.memDepID >= 0 {
+		if st := c.findStore(e.memDepID); st != nil && !st.executed {
+			return -1, st
+		}
+		e.memDepID = -1
+	}
+	return -1, nil
+}
+
+// subscribe parks e on an unavailable source. Callers must have
+// established that ready(e) is false at the current cycle.
+func (s *eventSched) subscribe(e *inst) {
+	switch reg, st := s.parkTarget(e); {
+	case reg >= 0:
+		s.subReg(e, reg)
+	case st != nil:
+		s.subStore(e, st)
+	default:
+		// ready() flipped between the caller's check and now — impossible
+		// within one cycle (nothing runs in between), so treat as a bug.
+		panic("core: subscribe called on a ready µ-op")
+	}
+}
+
+func (s *eventSched) subReg(e *inst, p int) {
+	e.waitKind = waitOnReg
+	e.waitReg = p
+	e.waitPrev = nil
+	e.waitNext = s.consHead[p]
+	if e.waitNext != nil {
+		e.waitNext.waitPrev = e
+	}
+	s.consHead[p] = e
+	// The register's availability cycle may already be known (a finite
+	// promise): make sure a wakeup is scheduled for it.
+	if t := s.c.specReady[p]; t != infinity && s.regWakeAt[p] != t {
+		s.regWheel.schedule(t, int32(p))
+		s.regWakeAt[p] = t
+	}
+}
+
+func (s *eventSched) subStore(e *inst, st *inst) {
+	e.waitKind = waitOnStore
+	e.waitOn = st
+	e.waitPrev = nil
+	e.waitNext = st.memWaitHead
+	if e.waitNext != nil {
+		e.waitNext.waitPrev = e
+	}
+	st.memWaitHead = e
+}
+
+// unlink removes e from whichever wakeup list it is subscribed to.
+func (s *eventSched) unlink(e *inst) {
+	switch e.waitKind {
+	case waitNone:
+		return
+	case waitOnReg:
+		if e.waitPrev == nil {
+			s.consHead[e.waitReg] = e.waitNext
+		} else {
+			e.waitPrev.waitNext = e.waitNext
+		}
+	case waitOnStore:
+		if e.waitPrev == nil {
+			e.waitOn.memWaitHead = e.waitNext
+		} else {
+			e.waitPrev.waitNext = e.waitNext
+		}
+	}
+	if e.waitNext != nil {
+		e.waitNext.waitPrev = e.waitPrev
+	}
+	e.waitKind = waitNone
+	e.waitOn = nil
+	e.waitPrev = nil
+	e.waitNext = nil
+}
+
+// enqueue (re-)evaluates a dispatched or woken µ-op in one scoreboard
+// pass: ready candidates join the ready queue; the rest park on their
+// wakeup source (see parkTarget for the policy).
+func (s *eventSched) enqueue(e *inst) {
+	if e.squashed || e.inReadyQ {
+		return
+	}
+	switch reg, st := s.parkTarget(e); {
+	case reg >= 0:
+		s.subReg(e, reg)
+	case st != nil:
+		s.subStore(e, st)
+	default:
+		e.inReadyQ = true
+		s.ready[fuFamily(e.u.Class)].add(readyEntry{dynID: e.dynID, gen: e.gen, epoch: s.revEpoch, e: e})
+		s.readyTotal++
+	}
+}
+
+// wakeReg flushes register p's consumer list through enqueue.
+func (s *eventSched) wakeReg(p int) {
+	e := s.consHead[p]
+	s.consHead[p] = nil
+	for e != nil {
+		next := e.waitNext
+		e.waitKind = waitNone
+		e.waitPrev = nil
+		e.waitNext = nil
+		s.c.run.SchedWakeups++
+		s.enqueue(e)
+		e = next
+	}
+}
+
+// onStoreExecuted flushes the memory-dependence waiters of a store the
+// moment it executes — the cycle scan-mode ready() would first see
+// st.executed.
+func (s *eventSched) onStoreExecuted(st *inst) {
+	e := st.memWaitHead
+	st.memWaitHead = nil
+	for e != nil {
+		next := e.waitNext
+		e.waitKind = waitNone
+		e.waitOn = nil
+		e.waitPrev = nil
+		e.waitNext = nil
+		s.c.run.SchedWakeups++
+		s.enqueue(e)
+		e = next
+	}
+}
+
+// onPublish is the hook behind every finite specReady write: dependents of
+// p need a wakeup at cycle t. Infinity writes (rename, squash-to-buffer)
+// schedule nothing — consumers stay parked until a finite promise appears.
+func (s *eventSched) onPublish(p int, t int64) {
+	if t == infinity || s.consHead[p] == nil || s.regWakeAt[p] == t {
+		return
+	}
+	if t <= s.c.cycle {
+		// All finite publications promise at least cycle+1 (minimum
+		// latency is one cycle); a same-or-past-cycle publication would
+		// mean a wakeup silently missed.
+		panic(fmt.Sprintf("core: specReady publication for r%d at cycle %d not in the future (cycle %d)",
+			p, t, s.c.cycle))
+	}
+	s.regWheel.schedule(t, int32(p))
+	s.regWakeAt[p] = t
+}
+
+// onIssue latches an issued µ-op on the execute wheel (replacing the
+// c.inflight slice).
+func (s *eventSched) onIssue(e *inst) {
+	s.execWheel.schedule(e.execCycle, execEntry{e: e, gen: e.gen})
+}
+
+// scheduleReplay files a scheduling-misspeculation detection (replacing the
+// c.events slice). Detections are created during execute with detect >=
+// the current cycle; same-cycle ones land in the slot this cycle's
+// processEvents is about to collect.
+func (s *eventSched) scheduleReplay(ev replayEvent) {
+	ev.gen = ev.load.gen
+	s.replayWheel.schedule(ev.detect, ev)
+}
+
+// ---- pipeline phases ------------------------------------------------------
+
+// liveExec reports whether a popped execute-wheel entry still denotes the
+// issue it was filed for (the µ-op may have been squashed, replayed to the
+// recovery buffer, or recycled for a different dynamic µ-op since).
+func liveExec(ent execEntry, now int64) bool {
+	e := ent.e
+	return e.gen == ent.gen && e.issued && !e.executed && e.execCycle == now
+}
+
+// execute drains this cycle's issue-to-execute latches from the execute
+// wheel. Mirrors the scan execute(): collect first, then run with
+// per-entry squash re-checks so an older µ-op squashing mid-cycle cancels
+// younger same-cycle executions.
+func (s *eventSched) execute() {
+	c := s.c
+	now := c.cycle
+	if !s.execWheel.busy(now) {
+		return
+	}
+	slot := &s.execWheel.slots[now&s.execWheel.mask]
+	execs := s.execScratch[:0]
+	keep := (*slot)[:0]
+	for _, it := range *slot {
+		if it.at != now {
+			keep = append(keep, it) // future revolution
+			continue
+		}
+		if liveExec(it.v, now) && !it.v.e.squashed {
+			execs = append(execs, it.v.e)
+		}
+	}
+	*slot = keep
+	if len(keep) == 0 {
+		i := now & s.execWheel.mask
+		s.execWheel.bits[i>>6] &^= 1 << uint(i&63)
+	}
+	c.run.SchedEvents += int64(len(execs))
+	for _, e := range execs {
+		if e.squashed {
+			continue // squashed by an older µ-op executing this cycle
+		}
+		c.executeOne(e)
+	}
+	s.execScratch = execs[:0]
+}
+
+// processEvents fires this cycle's pending schedule-misspeculation events.
+// Identical coalescing semantics to the scan version: one squash per cycle,
+// classified by the first triggering cause.
+func (s *eventSched) processEvents() {
+	c := s.c
+	if !s.replayWheel.busy(c.cycle) {
+		return
+	}
+	pending := s.replayWheel.collect(c.cycle, s.firedScratch[:0])
+	if len(pending) == 0 {
+		s.firedScratch = pending
+		return
+	}
+	triggered := false
+	var cause replayCause
+	fired := pending[:0]
+	for _, ev := range pending {
+		if ev.gen != ev.load.gen || ev.load.squashed {
+			continue // dropped with its load
+		}
+		c.run.SchedEvents++
+		if ev.load.destPhys >= 0 {
+			w := ev.reviseTo
+			if w <= c.cycle {
+				w = c.cycle + 1
+			}
+			c.publishSpecReady(ev.load.destPhys, w)
+		}
+		if ev.cause == causeBank {
+			c.run.BankReplayEvents++
+		} else {
+			c.run.MissReplayEvents++
+		}
+		fired = append(fired, ev)
+		if !triggered {
+			triggered = true
+			cause = ev.cause
+		}
+	}
+	if len(fired) > 0 {
+		// Fired events revised promises (and a triggered squash withdraws
+		// more): previously verified ready-queue entries must re-check.
+		s.revEpoch++
+	}
+	if triggered {
+		if c.cfg.Replay == config.SelectiveReplay {
+			s.selectiveSquash(fired)
+		} else {
+			s.replaySquash(cause)
+		}
+	}
+	s.firedScratch = fired[:0]
+}
+
+// collectInflight snapshots the live in-flight (issued, not yet executed)
+// µ-ops in issue order by walking the execute wheel's future slots. At
+// processEvents time every in-flight µ-op was issued in
+// [cycle-D, cycle-1], i.e. executes in [cycle+1, cycle+D]; within a slot,
+// entries sit in doIssue order, and slots ascend in issue cycle, so the
+// walk reproduces the scan's inflight list order exactly.
+func (s *eventSched) collectInflight() []*inst {
+	c := s.c
+	out := s.inflScratch[:0]
+	for t := c.cycle + 1; t <= c.cycle+c.delay(); t++ {
+		for _, it := range s.execWheel.slots[t&s.execWheel.mask] {
+			if it.at == t && liveExec(it.v, t) && !it.v.e.squashed {
+				out = append(out, it.v.e)
+			}
+		}
+	}
+	s.inflScratch = out
+	return out
+}
+
+// selectiveSquash is the event-driven counterpart of the scan
+// selectiveSquash: per fired event, only transitive dependents of the
+// mis-scheduled load are cancelled into the recovery buffer. Poison
+// propagation uses an epoch-stamped mark array instead of a per-event map.
+func (s *eventSched) selectiveSquash(fired []replayEvent) {
+	c := s.c
+	for _, ev := range fired {
+		if ev.load.destPhys < 0 {
+			continue
+		}
+		s.poisonEpoch++
+		epoch := s.poisonEpoch
+		s.poisonMark[ev.load.destPhys] = epoch
+		count := int64(0)
+		for _, e := range s.collectInflight() {
+			dep := (e.src1Phys >= 0 && s.poisonMark[e.src1Phys] == epoch) ||
+				(e.src2Phys >= 0 && s.poisonMark[e.src2Phys] == epoch)
+			if !dep {
+				continue
+			}
+			if e.destPhys >= 0 {
+				s.poisonMark[e.destPhys] = s.poisonEpoch
+				c.publishSpecReady(e.destPhys, infinity)
+				c.actReady[e.destPhys] = infinity
+			}
+			e.issued = false
+			e.inBuffer = true
+			e.specWoken = false
+			e.shifted = false
+			c.insertRecovery(e)
+			count++
+		}
+		if ev.cause == causeBank {
+			c.run.ReplayedBank += count
+		} else {
+			c.run.ReplayedMiss += count
+		}
+	}
+}
+
+// replaySquash cancels the D in-flight issue groups (Alpha-style squash),
+// exactly as the scan version does over c.inflight.
+func (s *eventSched) replaySquash(cause replayCause) {
+	c := s.c
+	lo := c.cycle - c.delay()
+	count := int64(0)
+	for _, e := range s.collectInflight() {
+		if e.issueCycle < lo || e.issueCycle >= c.cycle {
+			continue
+		}
+		e.issued = false
+		e.inBuffer = true
+		if e.destPhys >= 0 {
+			c.publishSpecReady(e.destPhys, infinity)
+			c.actReady[e.destPhys] = infinity
+		}
+		e.specWoken = false
+		e.shifted = false
+		c.insertRecovery(e)
+		count++
+	}
+	if cause == causeBank {
+		c.run.ReplayedBank += count
+	} else {
+		c.run.ReplayedMiss += count
+	}
+	c.issueBlock = c.cycle
+}
+
+// issue is the event-driven select stage: due register wakeups flush their
+// consumer lists, the recovery buffer replays with priority (shared with
+// the scan implementation), and the remaining width pops the age-ordered
+// ready queue — re-verifying ready() at pop so revised promises park the
+// µ-op back on a consumer list.
+func (s *eventSched) issue() {
+	c := s.c
+	// Fire due register wakeups — even on a replay-blocked cycle (wakeup
+	// is not select: the scan implementation implicitly re-polls every
+	// cycle, so the blocked cycle must not swallow these). A wakeup is
+	// valid only if the register's promise still stands (specReady <= now);
+	// otherwise the promise was revised or withdrawn and consumers stay
+	// parked — the revision itself scheduled (or will schedule) their next
+	// wakeup.
+	if s.regWheel.busy(c.cycle) {
+		regs := s.regWheel.collect(c.cycle, s.regScratch[:0])
+		for _, p := range regs {
+			if c.specReady[p] <= c.cycle {
+				c.run.SchedEvents++
+				s.wakeReg(int(p))
+			}
+		}
+		s.regScratch = regs[:0]
+	}
+
+	if c.cycle == c.issueBlock {
+		return
+	}
+
+	// Idle fast path: nothing schedulable anywhere (common on memory-bound
+	// phases, where the window is full but asleep). Checked before any of
+	// the select state below exists — at 10+ cycles per committed µ-op,
+	// per-cycle fixed cost is what dominates simulator time.
+	if s.readyTotal == 0 && len(c.recovery) == 0 {
+		return
+	}
+
+	c.loadBanksThisCycle = c.loadBanksThisCycle[:0]
+
+	// Fold arrival batches and build the active-family worklist.
+	var idx, keep [numFam]int
+	var lives [numFam][]readyEntry
+	var act [numFam]int
+	na := 0
+	for f := range s.ready {
+		s.ready[f].prepare()
+		lives[f] = s.ready[f].live()
+		if len(lives[f]) > 0 {
+			act[na] = f
+			na++
+		}
+	}
+
+	budget := c.newBudget()
+	width := c.cfg.IssueWidth
+	loadsIssued := 0
+
+	// Recovery buffer: replay with priority, oldest first (shared helper —
+	// identical semantics in both scheduler implementations).
+	width = c.issueRecovery(&budget, width, &loadsIssued)
+
+	// Scheduler fills the holes, oldest first, from the family-segregated
+	// ready queues: a merge by dynID over the active families visits
+	// candidates in exactly the scan's age order, but families whose
+	// per-cycle budget is exhausted drop out of the merge wholesale —
+	// precisely the entries takeFU would reject one by one (budgets only
+	// ever decrease within a cycle, so removal is permanent). Issued and
+	// invalidated entries compact out; in the common case a family's
+	// removals form a prefix and compaction is a pure front advance.
+	for width > 0 && na > 0 {
+		best := -1
+		var bestID int64
+		for a := 0; a < na; {
+			f := act[a]
+			if idx[f] >= len(lives[f]) || famBlocked(f, &budget) {
+				na--
+				act[a] = act[na]
+				continue
+			}
+			if id := lives[f][idx[f]].dynID; best < 0 || id < bestID {
+				best, bestID = f, id
+			}
+			a++
+		}
+		if best < 0 {
+			break
+		}
+		ent := lives[best][idx[best]]
+		idx[best]++
+		e := ent.e
+		if e.gen != ent.gen {
+			continue // recycled: stale entry for a squashed µ-op
+		}
+		if e.squashed || e.issued || e.inBuffer || e.executed || !e.inIQ {
+			e.inReadyQ = false
+			continue
+		}
+		if ent.epoch != s.revEpoch && !c.ready(e) {
+			// A promise was revised since enqueue and this entry's source
+			// is no longer available: park on a consumer list.
+			e.inReadyQ = false
+			s.subscribe(e)
+			continue
+		}
+		if !c.takeFU(e, &budget) {
+			// Unit occupied (divide spacing): stays ready, like the scan
+			// continuing past it to younger entries.
+			lives[best][keep[best]] = ent
+			keep[best]++
+			continue
+		}
+		e.inReadyQ = false
+		c.doIssue(e, &loadsIssued)
+		width--
+	}
+	for f := range s.ready {
+		switch {
+		case idx[f] == keep[f]:
+			// Nothing removed: list unchanged in place.
+		case keep[f] == 0:
+			// Removals form a prefix (the overwhelmingly common case —
+			// the oldest ready µops issued): pure front advance.
+			s.ready[f].off += idx[f]
+			s.ready[f].n -= idx[f]
+			s.readyTotal -= idx[f]
+		default:
+			live := lives[f]
+			kept := keep[f] + copy(live[keep[f]:], live[idx[f]:])
+			s.readyTotal -= len(live) - kept
+			s.ready[f].n = kept
+		}
+	}
+}
+
+// ---- invariant checking (tests) ------------------------------------------
+
+// checkInvariants validates the scheduler's structural invariants; tests
+// call it while single-stepping cores. It returns an error description or
+// "" when consistent.
+func (s *eventSched) checkInvariants() string {
+	for p, head := range s.consHead {
+		var prev *inst
+		for e := head; e != nil; e = e.waitNext {
+			switch {
+			case e.squashed:
+				return fmt.Sprintf("squashed µ-op %d still subscribed to r%d", e.dynID, p)
+			case e.waitKind != waitOnReg || e.waitReg != p:
+				return fmt.Sprintf("µ-op %d on r%d's consumer list but waitKind=%d waitReg=%d",
+					e.dynID, p, e.waitKind, e.waitReg)
+			case e.waitPrev != prev:
+				return fmt.Sprintf("µ-op %d on r%d's consumer list has a broken back-link", e.dynID, p)
+			case e.inReadyQ:
+				return fmt.Sprintf("µ-op %d both subscribed to r%d and in the ready queue", e.dynID, p)
+			}
+			prev = e
+		}
+	}
+	for f := range s.ready {
+		live := s.ready[f].live()
+		for i := 1; i < len(live); i++ {
+			if live[i-1].dynID >= live[i].dynID {
+				return fmt.Sprintf("family %d ready queue out of age order at %d", f, i)
+			}
+		}
+		for _, seg := range [2][]readyEntry{live, s.ready[f].batch} {
+			for _, ent := range seg {
+				if ent.e.gen != ent.gen {
+					continue // lazily dropped at the next issue iteration
+				}
+				if ent.e.squashed {
+					continue // dropped at the next issue iteration, before recycling
+				}
+				if !ent.e.inReadyQ {
+					return fmt.Sprintf("live ready entry for µ-op %d without inReadyQ", ent.dynID)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// wakeListLen counts subscribers of register p (tests).
+func (s *eventSched) wakeListLen(p int) int {
+	n := 0
+	for e := s.consHead[p]; e != nil; e = e.waitNext {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+
+	"specsched/internal/config"
+	"specsched/internal/trace"
+	"specsched/internal/uop"
+)
+
+// TestTimingWheelRollover exercises the wheel beyond one revolution:
+// entries scheduled past the ring size must stay parked through the
+// intermediate visits of their slot and fire exactly at their cycle.
+func TestTimingWheelRollover(t *testing.T) {
+	w := newWheel[int](16, 2)
+	size := int64(w.mask + 1)
+	if size != 16 {
+		t.Fatalf("wheel size = %d, want 16", size)
+	}
+	// Three entries hash to the same slot: due now, due next revolution,
+	// due two revolutions out.
+	w.schedule(5, 100)
+	w.schedule(5+size, 200)
+	w.schedule(5+2*size, 300)
+	// An entry in a different slot must not be disturbed.
+	w.schedule(7, 700)
+
+	var got []int
+	for now := int64(0); now <= 5+2*size; now++ {
+		fired := w.collect(now, nil)
+		for _, v := range fired {
+			got = append(got, v)
+		}
+		switch now {
+		case 5:
+			if len(fired) != 1 || fired[0] != 100 {
+				t.Fatalf("cycle %d fired %v, want [100]", now, fired)
+			}
+			if !w.busy(5) {
+				t.Fatal("slot with future-revolution entries reported idle")
+			}
+		case 7:
+			if len(fired) != 1 || fired[0] != 700 {
+				t.Fatalf("cycle %d fired %v, want [700]", now, fired)
+			}
+		case 5 + size:
+			if len(fired) != 1 || fired[0] != 200 {
+				t.Fatalf("cycle %d fired %v, want [200]", now, fired)
+			}
+		case 5 + 2*size:
+			if len(fired) != 1 || fired[0] != 300 {
+				t.Fatalf("cycle %d fired %v, want [300]", now, fired)
+			}
+			if w.busy(5 + 2*size) {
+				t.Fatal("fully drained slot still reports busy")
+			}
+		default:
+			if len(fired) != 0 {
+				t.Fatalf("cycle %d fired %v, want nothing", now, fired)
+			}
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("fired %v, want exactly 4 entries", got)
+	}
+}
+
+// TestReadyListOrderAndPrepend drives the three prepare paths (back
+// extend, front prepend, interleaved merge) and checks the live window
+// stays age-sorted.
+func TestReadyListOrderAndPrepend(t *testing.T) {
+	var l readyList
+	mk := func(id int64) readyEntry {
+		e := &inst{}
+		e.dynID = id
+		return readyEntry{dynID: id, e: e}
+	}
+	check := func(want ...int64) {
+		t.Helper()
+		live := l.live()
+		if len(live) != len(want) {
+			t.Fatalf("live len = %d, want %d", len(live), len(want))
+		}
+		for i, id := range want {
+			if live[i].dynID != id {
+				t.Fatalf("live[%d] = %d, want %d (%v)", i, live[i].dynID, id, live)
+			}
+		}
+	}
+	l.add(mk(30))
+	l.add(mk(10))
+	l.add(mk(20))
+	l.prepare()
+	check(10, 20, 30)
+	// Back extend.
+	l.add(mk(40))
+	l.add(mk(50))
+	l.prepare()
+	check(10, 20, 30, 40, 50)
+	// Consume a prefix the way issue does (front advance).
+	l.off += 2
+	l.n -= 2
+	check(30, 40, 50)
+	// Front prepend into the vacated slack.
+	l.add(mk(5))
+	l.add(mk(7))
+	l.prepare()
+	check(5, 7, 30, 40, 50)
+	// Interleaved merge.
+	l.add(mk(35))
+	l.add(mk(6))
+	l.prepare()
+	check(5, 6, 7, 30, 35, 40, 50)
+}
+
+// stepWithInvariants single-steps a core, validating the event scheduler's
+// structural invariants every cycle.
+func stepWithInvariants(t *testing.T, c *Core, cycles int, label string) {
+	t.Helper()
+	if c.sched == nil {
+		t.Fatalf("%s: core is not running the event scheduler", label)
+	}
+	for i := 0; i < cycles; i++ {
+		c.Step()
+		if msg := c.sched.checkInvariants(); msg != "" {
+			t.Fatalf("%s: cycle %d: %s", label, i, msg)
+		}
+	}
+}
+
+// TestConsumerListUnlinkOnSquash runs squash-heavy workloads (branchy
+// profiles under speculative scheduling, plus memory-order violations)
+// while checking every cycle that squashFrom left no squashed µ-op on any
+// consumer list and no corrupted back-links — the lists are walked through
+// raw pointers, so a missed unlink would become a use-after-recycle.
+func TestConsumerListUnlinkOnSquash(t *testing.T) {
+	for _, tc := range []struct {
+		wl     string
+		preset string
+	}{
+		{"twolf", "SpecSched_4"},       // mispredict-heavy
+		{"vortex", "SpecSched_4_Crit"}, // memory-order violations
+		{"xalancbmk", "SpecSched_6"},   // deep replay window
+		{"libquantum", "SpecSched_4"},  // miss replays
+	} {
+		p, err := trace.ByName(tc.wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Preset(tc.preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MustNew(cfg, trace.New(p), p.Seed)
+		stepWithInvariants(t, c, 12000, tc.preset+"/"+tc.wl)
+		if c.run.Mispredicts == 0 {
+			t.Fatalf("%s: no mispredictions — the squash path was never exercised", tc.wl)
+		}
+	}
+}
+
+// TestSchedInvariantsUnderSelectiveReplay covers the poison-propagation
+// squash path, which re-parks transitive dependents of mis-scheduled loads.
+func TestSchedInvariantsUnderSelectiveReplay(t *testing.T) {
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replay = config.SelectiveReplay
+	p, err := trace.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(cfg, trace.New(p), p.Seed)
+	stepWithInvariants(t, c, 12000, "selective/libquantum")
+	if c.run.Replayed() == 0 {
+		t.Fatal("no replays — the selective squash path was never exercised")
+	}
+}
+
+// TestMemDepWaiterWakeup pins the store-waiter list behavior: a load
+// predicted dependent on a store must not issue before the store executes,
+// and must become issuable the cycle it does. Observed end to end through
+// the memdep-subscription machinery on a store-to-load workload.
+func TestMemDepWaiterWakeup(t *testing.T) {
+	p, err := trace.ByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(cfg, trace.New(p), p.Seed)
+	r := c.Run(5000, 20000)
+	if r.LateOperands != 0 {
+		t.Fatalf("late operands with memdep waiters: %d", r.LateOperands)
+	}
+	if r.MemOrderViolations > r.Committed/100 {
+		t.Fatalf("memdep wakeups not containing violations: %d of %d",
+			r.MemOrderViolations, r.Committed)
+	}
+}
+
+// TestEventSchedulerWakeupCounters sanity-checks the new throughput
+// diagnostics: the event scheduler must report wakeups and events, and
+// the scan implementation must report none.
+func TestEventSchedulerWakeupCounters(t *testing.T) {
+	p, err := trace.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range []config.SchedulerImpl{config.SchedEvent, config.SchedScan} {
+		cfg, err := config.Preset("SpecSched_4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Scheduler = impl
+		c := MustNew(cfg, trace.New(p), p.Seed)
+		r := c.Run(2000, 10000)
+		if impl == config.SchedEvent {
+			if r.SchedWakeups == 0 || r.SchedEvents == 0 {
+				t.Fatalf("event scheduler reported no wakeups/events: %+v", r)
+			}
+			if r.WakeupsPerCycle() <= 0 || r.EventsPerCycle() <= 0 {
+				t.Fatal("per-cycle diagnostics are zero")
+			}
+		} else if r.SchedWakeups != 0 || r.SchedEvents != 0 {
+			t.Fatalf("scan scheduler reported scheduler events: %+v", r)
+		}
+	}
+}
+
+// TestSubscribePanicsOnReadyUOp documents the subscribe precondition.
+func TestSubscribePanicsOnReadyUOp(t *testing.T) {
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(cfg, trace.NewStreamSum(4<<10), 1)
+	e := c.newInst()
+	e.u = uop.UOp{Class: uop.ClassALU, Src1: uop.RegNone, Src2: uop.RegNone, Dest: uop.RegNone}
+	e.src1Phys, e.src2Phys = -1, -1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("subscribe on a ready µ-op did not panic")
+		}
+	}()
+	c.sched.subscribe(e)
+}

@@ -32,6 +32,7 @@ func (r *Runner) collectConfigs(cfgs []config.CoreConfig) (*stats.Set, error) {
 					errs <- err
 					return
 				}
+				cfg.Scheduler = r.opts.Scheduler
 				c, err := core.New(cfg, trace.New(p), p.Seed)
 				if err != nil {
 					errs <- err
@@ -42,6 +43,9 @@ func (r *Runner) collectConfigs(cfgs []config.CoreConfig) (*stats.Set, error) {
 				mu.Lock()
 				set.Add(run)
 				mu.Unlock()
+				r.mu.Lock()
+				r.simulated += r.opts.Warmup + r.opts.Measure
+				r.mu.Unlock()
 			}(cfg, wl)
 		}
 	}

@@ -31,6 +31,11 @@ type Options struct {
 	Workloads []string
 	// Parallel bounds worker goroutines (0 = GOMAXPROCS).
 	Parallel int
+	// Scheduler overrides the simulator-side wakeup/select implementation
+	// for every run (config.SchedEvent is the presets' default; the scan
+	// implementation is kept for differential testing and perf-trajectory
+	// comparisons). Results are bit-identical either way.
+	Scheduler config.SchedulerImpl
 }
 
 // Defaults fills unset fields.
@@ -58,6 +63,17 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[string]*stats.Run
+	// simulated counts µ-ops simulated by this runner (warmup + measure,
+	// per executed job) — the numerator of Minsts/sec throughput reports.
+	simulated int64
+}
+
+// SimulatedUOps returns the total µ-ops simulated so far (including
+// warmup), across all jobs this runner executed.
+func (r *Runner) SimulatedUOps() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simulated
 }
 
 // NewRunner constructs a Runner.
@@ -109,6 +125,7 @@ func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
 					errs <- err
 					return
 				}
+				j.cfg.Scheduler = r.opts.Scheduler
 				c, err := core.New(j.cfg, trace.New(p), p.Seed)
 				if err != nil {
 					errs <- err
@@ -118,6 +135,7 @@ func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
 				run := c.Run(r.opts.Warmup, r.opts.Measure)
 				r.mu.Lock()
 				r.cache[key(j.cfg.Name, j.wl)] = run
+				r.simulated += r.opts.Warmup + r.opts.Measure
 				r.mu.Unlock()
 			}(j)
 		}

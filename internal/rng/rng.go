@@ -6,7 +6,10 @@
 // not depend on math/rand's global state.
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New.
@@ -75,22 +78,52 @@ func (r *RNG) Bool(p float64) bool {
 }
 
 // Geometric returns a sample from a geometric distribution with mean m
-// (m >= 1), i.e. the number of trials until first success with p = 1/m.
-// Useful for dependence-distance and run-length draws.
+// (m >= 1), i.e. the number of trials until first success with p = 1/m,
+// drawn by inversion — one uniform draw and one logarithm regardless of m,
+// where the rejection formulation consumes a mean of m draws. Hot loops
+// with a fixed mean should hold a GeometricSampler instead, which shares
+// this implementation with the denominator precomputed.
 func (r *RNG) Geometric(m float64) int {
-	if m <= 1 {
-		return 1
-	}
-	p := 1 / m
-	n := 1
-	for !r.Bool(p) && n < 1<<20 {
-		n++
-	}
-	return n
+	return NewGeometricSampler(m).Sample(r)
 }
 
 // Fork derives an independent generator from this one, for splitting a
 // workload seed into per-component streams without correlation.
 func (r *RNG) Fork() *RNG {
 	return New(r.Uint64())
+}
+
+// GeometricSampler draws geometric samples for a fixed mean with the
+// denominator of the inversion precomputed — one uniform draw and one
+// logarithm per sample. Hot generator loops (dependence distances) use it
+// instead of Geometric.
+type GeometricSampler struct {
+	invLogQ float64 // 1 / log(1 - 1/m); 0 marks the degenerate m <= 1 case
+}
+
+// NewGeometricSampler prepares a sampler with mean m.
+func NewGeometricSampler(m float64) GeometricSampler {
+	if m <= 1 {
+		return GeometricSampler{}
+	}
+	return GeometricSampler{invLogQ: 1 / math.Log(1-1/m)}
+}
+
+// Sample draws one geometric variate using r's stream.
+func (s GeometricSampler) Sample(r *RNG) int {
+	if s.invLogQ == 0 {
+		return 1
+	}
+	u := r.Float64()
+	if u == 0 {
+		return 1 << 20
+	}
+	n := 1 + int(math.Log(u)*s.invLogQ)
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return n
 }

@@ -67,6 +67,43 @@ type Run struct {
 	// dependents speculatively vs. forced to wait for the hit signal.
 	LoadsSpecWakeup    int64
 	LoadsDelayedWakeup int64
+
+	// Simulator-throughput diagnostics of the event-driven scheduler:
+	// SchedWakeups counts consumers flushed from wakeup lists and
+	// SchedEvents counts timing-wheel entries that fired (completions,
+	// valid register wakeups, replay detections). Both are zero under the
+	// scan implementation — they describe the simulator, not the simulated
+	// machine — so equivalence comparisons must mask them (see
+	// MaskSchedulerCounters).
+	SchedWakeups int64
+	SchedEvents  int64
+}
+
+// MaskSchedulerCounters returns a copy of r with the simulator-side
+// scheduler diagnostics zeroed, leaving only architecturally meaningful
+// counters — the form differential tests compare across scheduler
+// implementations.
+func (r *Run) MaskSchedulerCounters() Run {
+	cp := *r
+	cp.SchedWakeups = 0
+	cp.SchedEvents = 0
+	return cp
+}
+
+// WakeupsPerCycle returns average consumer wakeups per simulated cycle.
+func (r *Run) WakeupsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SchedWakeups) / float64(r.Cycles)
+}
+
+// EventsPerCycle returns average fired scheduler events per simulated cycle.
+func (r *Run) EventsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SchedEvents) / float64(r.Cycles)
 }
 
 // IPC returns committed µ-ops per cycle for the measurement window.

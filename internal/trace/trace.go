@@ -130,6 +130,11 @@ type Generator struct {
 	ringPos  int
 	ringLive int
 
+	// Precomputed geometric samplers for the two fixed means the hot
+	// emission path draws from every few µ-ops.
+	depDist  rng.GeometricSampler
+	addrDist rng.GeometricSampler
+
 	// pendingLoadDest is the most recent load destination not yet
 	// consumed by a load-use pair, or RegNone.
 	pendingLoadDest int
@@ -161,6 +166,8 @@ func New(p Profile) *Generator {
 		nextIntDest:     firstIntDest,
 		nextFPDest:      firstFPDest,
 		pendingLoadDest: uop.RegNone,
+		depDist:         rng.NewGeometricSampler(p.MeanDepDist),
+		addrDist:        rng.NewGeometricSampler(3),
 	}
 	g.build()
 	g.loopCount = make([]int, len(g.program))
@@ -324,7 +331,7 @@ func (g *Generator) srcReg() int {
 	if g.r.Bool(g.prof.UseBaseFrac) || g.ringLive == 0 {
 		return g.r.Intn(numIntBases)
 	}
-	d := g.r.Geometric(g.prof.MeanDepDist)
+	d := g.depDist.Sample(g.r)
 	if d > g.ringLive {
 		d = g.ringLive
 	}
@@ -362,30 +369,43 @@ func (g *Generator) allocFPDest() int {
 
 // Next emits the next correct-path µ-op. The stream never ends.
 func (g *Generator) Next() (uop.UOp, bool) {
+	var u uop.UOp
+	ok := g.NextInto(&u)
+	return u, ok
+}
+
+// NextInto implements uop.StreamInto, emitting directly into dst on the
+// simulator's per-µop hot path.
+func (g *Generator) NextInto(dst *uop.UOp) bool {
 	blk := &g.program[g.cur]
 	if g.slot < len(blk.slots) {
 		spec := &blk.slots[g.slot]
-		u := g.emitSlot(blk, spec)
+		g.emitSlot(blk, spec, dst)
 		g.slot++
-		return u, true
+		return true
 	}
 	// Branch slot.
-	u := g.emitBranch(blk)
+	g.emitBranch(blk, dst)
 	g.slot = 0
-	return u, true
+	return true
 }
 
-func (g *Generator) emitSlot(blk *blockSpec, spec *slotSpec) uop.UOp {
+func (g *Generator) emitSlot(blk *blockSpec, spec *slotSpec, dst *uop.UOp) {
 	g.seq++
-	u := uop.UOp{
-		Seq:   g.seq,
-		PC:    blk.pc + uint64(g.slot)*4,
-		Class: spec.class,
-		Src1:  uop.RegNone,
-		Src2:  uop.RegNone,
-		Dest:  uop.RegNone,
-		Size:  8,
-	}
+	// Explicit field stores: a composite-literal assignment through the
+	// pointer would build a stack temporary and block copy it.
+	dst.Seq = g.seq
+	dst.PC = blk.pc + uint64(g.slot)*4
+	dst.Class = spec.class
+	dst.Src1 = uop.RegNone
+	dst.Src2 = uop.RegNone
+	dst.Dest = uop.RegNone
+	dst.Addr = 0
+	dst.Size = 8
+	dst.Taken = false
+	dst.Target = 0
+	dst.WrongPath = false
+	u := dst
 	switch spec.class {
 	case uop.ClassLoad:
 		switch {
@@ -394,7 +414,7 @@ func (g *Generator) emitSlot(blk *blockSpec, spec *slotSpec) uop.UOp {
 		case g.r.Bool(g.prof.AddrDepFrac) && g.ringLive > 0:
 			// Address computed from a recent result: the load joins a
 			// dependence chain.
-			d := g.r.Geometric(3)
+			d := g.addrDist.Sample(g.r)
 			if d > g.ringLive {
 				d = g.ringLive
 			}
@@ -426,10 +446,9 @@ func (g *Generator) emitSlot(blk *blockSpec, spec *slotSpec) uop.UOp {
 		u.Dest = g.allocIntDest()
 		g.pushDest(u.Dest)
 	}
-	return u
 }
 
-func (g *Generator) emitBranch(blk *blockSpec) uop.UOp {
+func (g *Generator) emitBranch(blk *blockSpec, dst *uop.UOp) {
 	g.seq++
 	bIdx := g.cur
 	taken := false
@@ -456,23 +475,23 @@ func (g *Generator) emitBranch(blk *blockSpec) uop.UOp {
 	if taken {
 		next = blk.takenIdx
 	}
-	u := uop.UOp{
-		Seq:    g.seq,
-		PC:     blk.brPC,
-		Class:  uop.ClassBranch,
-		Src1:   g.destRing[g.ringPos], // depends on the latest result
-		Src2:   uop.RegNone,
-		Dest:   uop.RegNone,
-		Taken:  taken,
-		Target: g.program[next].pc,
-	}
+	dst.Seq = g.seq
+	dst.PC = blk.brPC
+	dst.Class = uop.ClassBranch
+	dst.Src1 = g.destRing[g.ringPos] // depends on the latest result
+	dst.Src2 = uop.RegNone
+	dst.Dest = uop.RegNone
+	dst.Addr = 0
+	dst.Size = 0
+	dst.Taken = taken
+	dst.Target = g.program[next].pc
+	dst.WrongPath = false
 	if !taken {
 		// For a not-taken branch the "target" field carries the
 		// fall-through PC (the next sequential block).
-		u.Target = g.program[blk.ntIdx].pc
+		dst.Target = g.program[blk.ntIdx].pc
 	}
 	g.cur = next
-	return u
 }
 
 // StaticSlots returns the number of static µ-op slots (including branches),

@@ -34,23 +34,34 @@ func NewWrongPath(seed uint64, footprint int) *WrongPath {
 
 // Next produces one wrong-path µ-op starting at the given PC region.
 func (w *WrongPath) Next() uop.UOp {
-	w.pcs++
-	u := uop.UOp{
-		Seq:       -1,
-		PC:        0x700000 + (w.pcs&1023)*4,
-		Src1:      w.r.Intn(numIntBases),
-		Src2:      uop.RegNone,
-		Dest:      uop.RegNone,
-		WrongPath: true,
-		Size:      8,
-	}
-	if w.r.Bool(0.25) {
-		u.Class = uop.ClassLoad
-		u.Addr = w.base + (w.r.Uint64() & w.mask &^ 7)
-		u.Dest = firstIntDest + w.r.Intn(uop.NumIntRegs-firstIntDest)
-	} else {
-		u.Class = uop.ClassALU
-		u.Dest = firstIntDest + w.r.Intn(uop.NumIntRegs-firstIntDest)
-	}
+	var u uop.UOp
+	w.NextInto(&u)
 	return u
+}
+
+// NextInto emits one wrong-path µ-op directly into dst (hot-path variant).
+// Every field is stored explicitly — a composite-literal assignment through
+// the pointer would build a stack temporary and block copy it.
+func (w *WrongPath) NextInto(dst *uop.UOp) bool {
+	w.pcs++
+	dst.Seq = -1
+	dst.PC = 0x700000 + (w.pcs&1023)*4
+	dst.Class = uop.ClassNop
+	dst.Src1 = w.r.Intn(numIntBases)
+	dst.Src2 = uop.RegNone
+	dst.Dest = uop.RegNone
+	dst.Addr = 0
+	dst.Size = 8
+	dst.Taken = false
+	dst.Target = 0
+	dst.WrongPath = true
+	if w.r.Bool(0.25) {
+		dst.Class = uop.ClassLoad
+		dst.Addr = w.base + (w.r.Uint64() & w.mask &^ 7)
+		dst.Dest = firstIntDest + w.r.Intn(uop.NumIntRegs-firstIntDest)
+	} else {
+		dst.Class = uop.ClassALU
+		dst.Dest = firstIntDest + w.r.Intn(uop.NumIntRegs-firstIntDest)
+	}
+	return true
 }

@@ -144,3 +144,12 @@ type Stream interface {
 	// by the experiments are infinite and never return ok == false).
 	Next() (u UOp, ok bool)
 }
+
+// StreamInto is an optional Stream fast path: NextInto writes the next
+// µ-op into dst, sparing the two value copies Next costs per fetched µ-op
+// on the simulator's hottest path. Semantics are otherwise identical to
+// Next; consumers must fall back to Next when the stream does not
+// implement it.
+type StreamInto interface {
+	NextInto(dst *UOp) bool
+}
