@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestGateEventThroughput(t *testing.T) {
+	base := comparison{Name: "table2", EventMinsts: 2.0, ScanMinsts: 1.0, Speedup: 2.0}
+	cases := []struct {
+		name string
+		cur  comparison
+		ok   bool
+	}{
+		// Same machine, same speedup: passes.
+		{"unchanged", comparison{EventMinsts: 2.0, ScanMinsts: 1.0, Speedup: 2.0}, true},
+		// Twice-slower CI machine, scheduler unchanged: must still pass —
+		// the scan anchor normalizes machine speed out.
+		{"slow machine", comparison{EventMinsts: 1.0, ScanMinsts: 0.5, Speedup: 2.0}, true},
+		// Mild regression inside the 20% allowance.
+		{"within allowance", comparison{EventMinsts: 1.7, ScanMinsts: 1.0, Speedup: 1.7}, true},
+		// Event path got 40% slower relative to scan: fails on any machine.
+		{"real regression", comparison{EventMinsts: 1.2, ScanMinsts: 1.0, Speedup: 1.2}, false},
+		{"real regression, slow machine", comparison{EventMinsts: 0.6, ScanMinsts: 0.5, Speedup: 1.2}, false},
+		// Degenerate inputs never pass silently.
+		{"zero scan", comparison{EventMinsts: 2.0, ScanMinsts: 0}, false},
+	}
+	for _, tc := range cases {
+		verdict, ok := gateEventThroughput(tc.cur, base, 0.20)
+		if ok != tc.ok {
+			t.Errorf("%s: gate=%v, want %v (%s)", tc.name, ok, tc.ok, verdict)
+		}
+	}
+	if _, ok := gateEventThroughput(comparison{EventMinsts: 2, ScanMinsts: 1}, comparison{}, 0.20); ok {
+		t.Error("missing baseline table2 comparison must fail the gate")
+	}
+}

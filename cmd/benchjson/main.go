@@ -13,6 +13,15 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_1.json] [-reps 3] [-warmup N] [-measure N]
+//	                       [-jobs N] [-smoke] [-gate BENCH_1.json] [-maxregress 0.20]
+//
+// -smoke shrinks windows and repetitions to a CI-sized run (the figure
+// sweep is skipped; the scheduler comparison is kept). -gate compares the
+// run's Table 2 event-mode throughput against a committed baseline file
+// and exits non-zero on a regression beyond -maxregress; the current
+// scan-mode throughput anchors the comparison so that the gate measures
+// the scheduler, not the speed of the machine CI happened to land on (see
+// gateEventThroughput).
 package main
 
 import (
@@ -168,21 +177,80 @@ func iq256Throughput(impl config.SchedulerImpl, measure int64) (float64, error) 
 	return float64(r.Committed) / time.Since(start).Seconds() / 1e6, nil
 }
 
+// loadBaseline reads a previously committed benchjson report.
+func loadBaseline(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// gateEventThroughput decides the bench-regression gate: is the current
+// Table 2 event-mode throughput more than maxRegress below the baseline's,
+// after normalizing out the speed of the machine? The scan-mode
+// implementation is the anchor — it is frozen legacy code, so the ratio
+// cur.Scan/base.Scan estimates how fast this machine is relative to the
+// machine that produced the baseline file, and the event-mode floor scales
+// with it. (Algebraically this gates the event/scan speedup ratio, which
+// is what a hosted CI runner can measure reproducibly.) It returns a
+// human-readable verdict and whether the gate passes.
+func gateEventThroughput(cur, base comparison, maxRegress float64) (string, bool) {
+	if base.EventMinsts <= 0 || base.ScanMinsts <= 0 || cur.ScanMinsts <= 0 {
+		return fmt.Sprintf("gate: unusable throughputs (cur scan %.3f, base event %.3f scan %.3f)",
+			cur.ScanMinsts, base.EventMinsts, base.ScanMinsts), false
+	}
+	machine := cur.ScanMinsts / base.ScanMinsts
+	floor := base.EventMinsts * machine * (1 - maxRegress)
+	verdict := fmt.Sprintf(
+		"gate: event %.3f Minsts/s vs floor %.3f (baseline event %.3f x machine factor %.2f x allowance %.0f%%); speedup %.2fx vs baseline %.2fx",
+		cur.EventMinsts, floor, base.EventMinsts, machine, 100*(1-maxRegress),
+		cur.Speedup, base.Speedup)
+	return verdict, cur.EventMinsts >= floor
+}
+
 func main() {
 	out := flag.String("out", "BENCH_1.json", "output path")
 	reps := flag.Int("reps", 3, "interleaved repetitions per comparison point (best-of)")
 	warmup := flag.Int64("warmup", 4000, "warmup µ-ops per run")
 	measure := flag.Int64("measure", 20000, "measured µ-ops per run")
+	jobs := flag.Int("jobs", 0, "sweep worker goroutines for the figure runs (default: GOMAXPROCS)")
+	smoke := flag.Bool("smoke", false, "CI-sized run: reps=1, short windows, figure sweep skipped")
+	gate := flag.String("gate", "", "baseline BENCH_<n>.json to gate Table 2 event throughput against")
+	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional event-throughput regression for -gate")
 	flag.Parse()
+
+	if *smoke {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["reps"] {
+			*reps = 1
+		}
+		if !explicit["warmup"] {
+			*warmup = 2000
+		}
+		if !explicit["measure"] {
+			*measure = 10000
+		}
+	}
 
 	opts := experiments.Options{
 		Warmup:    *warmup,
 		Measure:   *measure,
 		Workloads: benchWorkloads,
+		Parallel:  *jobs,
+	}
+	createdFor := "event-driven wakeup/select scheduler"
+	if *smoke {
+		createdFor = "smoke run (CI bench-regression gate)"
 	}
 	rep := report{
 		Schema:     "specsched-bench/v1",
-		CreatedFor: "event-driven wakeup/select scheduler",
+		CreatedFor: createdFor,
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		Reps:       *reps,
@@ -190,15 +258,19 @@ func main() {
 		Measure:    *measure,
 	}
 
-	for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig7", "fig8", "delays"} {
-		fr, err := runFigure(name, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
-			os.Exit(1)
+	// The figure sweep exercises the sim pool end to end (it is skipped in
+	// smoke mode: the gate only needs the scheduler comparison below).
+	if !*smoke {
+		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig7", "fig8", "delays"} {
+			fr, err := runFigure(name, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			rep.Figures = append(rep.Figures, fr)
+			fmt.Printf("%-8s %8.1f ms  %9d allocs  %6.3f Minsts/sec\n",
+				name, float64(fr.NsOp)/1e6, fr.AllocsOp, fr.MinstsPerS)
 		}
-		rep.Figures = append(rep.Figures, fr)
-		fmt.Printf("%-8s %8.1f ms  %9d allocs  %6.3f Minsts/sec\n",
-			name, float64(fr.NsOp)/1e6, fr.AllocsOp, fr.MinstsPerS)
 	}
 
 	// Scheduler comparison: per-workload back-to-back pairs, best of reps.
@@ -243,4 +315,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+
+	if *gate != "" {
+		base, err := loadBaseline(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+			os.Exit(1)
+		}
+		baseT2 := comparison{}
+		for _, c := range base.Scheduler {
+			if c.Name == "table2" {
+				baseT2 = c
+			}
+		}
+		verdict, ok := gateEventThroughput(t2, baseT2, *maxRegress)
+		fmt.Println(verdict)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION against %s\n", *gate)
+			os.Exit(1)
+		}
+	}
 }

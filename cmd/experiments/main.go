@@ -1,37 +1,137 @@
 // Command experiments regenerates the paper's tables and figures as text
-// reports.
+// reports, running the (configuration × workload × seed) grid on the
+// internal/sim work-stealing pool.
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig7|fig8|delays|summary]
-//	            [-measure N] [-warmup N] [-workloads a,b,c] [-parallel N]
+//	experiments [-exp all|table1,fig5,...] [-list]
+//	            [-measure N] [-warmup N] [-workloads a,b,c] [-filter REGEX]
+//	            [-jobs N] [-seeds N] [-timeout DUR]
+//	            [-resume FILE] [-json FILE] [-progress]
 //
 // Each report prints the same rows/series the paper reports, normalized the
 // same way (per-benchmark vs Baseline_0, geometric means); paper reference
 // numbers are attached where the paper states them.
+//
+//	-jobs     worker goroutines for the sweep grid (default GOMAXPROCS)
+//	-seeds    seed replicas per (config, workload) cell, pooled into one
+//	          result (default 1: the calibrated profile seeds)
+//	-filter   regular expression selecting workloads (applied to the
+//	          -workloads list, default the full 36-benchmark suite)
+//	-timeout  per-cell wall-clock bound; a diverging cell fails alone
+//	-resume   resumable sweep checkpoint: completed cells are saved there
+//	          and skipped when the sweep restarts with the same options
+//	-json     write the reports plus every per-(config, workload) run as
+//	          machine-readable JSON
+//	-progress stream per-cell completion lines to stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
 	"strings"
 	"time"
 
 	"specsched/internal/experiments"
+	"specsched/internal/sim"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
 )
 
+// jsonReport is the -json output schema.
+type jsonReport struct {
+	Schema    string           `json:"schema"`
+	GoVersion string           `json:"go_version"`
+	Options   jsonOptions      `json:"options"`
+	Reports   []jsonExperiment `json:"reports"`
+	Runs      []*stats.Run     `json:"runs"`
+	Elapsed   float64          `json:"elapsed_sec"`
+	Simulated int64            `json:"simulated_uops"`
+}
+
+type jsonOptions struct {
+	Warmup    int64    `json:"warmup_uops"`
+	Measure   int64    `json:"measure_uops"`
+	Seeds     int      `json:"seeds"`
+	Jobs      int      `json:"jobs"`
+	Workloads []string `json:"workloads"`
+}
+
+type jsonExperiment struct {
+	Name   string `json:"name"`
+	Report string `json:"report"`
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments.Names(), "|")+"|all)")
-	measure := flag.Int64("measure", 60000, "measured µ-ops per run")
-	warmup := flag.Int64("warmup", 10000, "warmup µ-ops per run")
+	exp := flag.String("exp", "all", "experiments to run, comma-separated ("+strings.Join(experiments.Names(), "|")+"|all)")
+	list := flag.Bool("list", false, "print the known experiment names and exit")
+	measure := flag.Int64("measure", 60000, "measured µ-ops per cell")
+	warmup := flag.Int64("warmup", 10000, "warmup µ-ops per cell")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
-	parallel := flag.Int("parallel", 0, "worker goroutines (default: GOMAXPROCS)")
+	filter := flag.String("filter", "", "regexp selecting workloads (applied after -workloads)")
+	jobs := flag.Int("jobs", 0, "sweep worker goroutines (default: GOMAXPROCS)")
+	seeds := flag.Int("seeds", 1, "seed replicas per (config, workload) cell, pooled")
+	timeout := flag.Duration("timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
+	resume := flag.String("resume", "", "resumable sweep checkpoint file (created if missing)")
+	jsonOut := flag.String("json", "", "write reports and per-cell runs as JSON to this file")
+	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
 	flag.Parse()
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Parallel: *parallel}
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+
+	wls := trace.ProfileNames()
 	if *workloads != "" {
-		opts.Workloads = strings.Split(*workloads, ",")
+		wls = strings.Split(*workloads, ",")
+	}
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fatalf("bad -filter: %v", err)
+		}
+		var kept []string
+		for _, wl := range wls {
+			if re.MatchString(wl) {
+				kept = append(kept, wl)
+			}
+		}
+		if len(kept) == 0 {
+			fatalf("-filter %q matches none of %v", *filter, wls)
+		}
+		wls = kept
+	}
+
+	opts := experiments.Options{
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Workloads:   wls,
+		Parallel:    *jobs,
+		Seeds:       *seeds,
+		CellTimeout: *timeout,
+		Checkpoint:  *resume,
+	}
+	if *progress {
+		opts.OnProgress = func(p sim.Progress) {
+			state := fmt.Sprintf("%.2fs", p.Elapsed)
+			if p.CellCached {
+				state = "checkpoint"
+			}
+			if p.CellErr != nil {
+				state = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %s\n", p.Done, p.Total, p.Cell, state)
+		}
 	}
 	r := experiments.NewRunner(opts)
 
@@ -40,13 +140,60 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 	start := time.Now()
+	rep := jsonReport{
+		Schema:    "specsched-experiments/v1",
+		GoVersion: runtime.Version(),
+		Options: jsonOptions{
+			Warmup: *warmup, Measure: *measure,
+			Seeds: *seeds, Jobs: *jobs, Workloads: wls,
+		},
+	}
+	// A failed cell must not discard the rest of the sweep: report the
+	// error, keep running the remaining experiments (their healthy cells
+	// are cached/checkpointed already), still write -json, exit non-zero.
+	failed := false
 	for _, name := range names {
 		out, err := r.Run(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			failed = true
+			continue
 		}
 		fmt.Println(out)
+		rep.Reports = append(rep.Reports, jsonExperiment{Name: name, Report: out})
 	}
-	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	fmt.Printf("(completed in %.1fs, %d µ-ops simulated, %d workloads, %d seeds, jobs=%d)\n",
+		elapsed.Seconds(), r.SimulatedUOps(), len(wls), *seeds, effectiveJobs(*jobs))
+
+	if *jsonOut != "" {
+		set := r.Snapshot()
+		for _, cn := range set.Configs() {
+			for _, wl := range set.Workloads() {
+				if run := set.Get(cn, wl); run != nil {
+					rep.Runs = append(rep.Runs, run)
+				}
+			}
+		}
+		rep.Elapsed = elapsed.Seconds()
+		rep.Simulated = r.SimulatedUOps()
+		data, err := json.MarshalIndent(rep, "", " ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func effectiveJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
 }

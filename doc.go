@@ -8,7 +8,11 @@
 // buffer, L2 with stride prefetching, DDR3 timing, store sets, register
 // renaming) in sibling packages, the synthetic SPEC-like workloads in
 // internal/trace, and the per-figure experiment runners in
-// internal/experiments. The benchmarks in this directory regenerate every
-// table and figure of the paper's evaluation; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// internal/experiments. Experiment grids are sharded across a
+// deterministic work-stealing pool (internal/sim) with per-cell failure
+// isolation and resumable checkpoints; cmd/experiments exposes it as a
+// CLI (-jobs, -seeds, -filter, -resume, -json). The benchmarks in this
+// directory regenerate every table and figure of the paper's evaluation;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results and the CI bench-regression gate.
 package specsched

@@ -9,7 +9,10 @@
 // single-channel DDR3-1600 memory.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+)
 
 // HitMissPolicy selects how the scheduler decides whether a load may wake
 // its dependents speculatively (i.e. assuming an L1 hit).
@@ -289,6 +292,16 @@ func (c *CoreConfig) Validate() error {
 // ExecuteStageOffset returns the number of cycles after issue at which a
 // µ-op reaches the Execute stage (the paper's N = delay + 1).
 func (c *CoreConfig) ExecuteStageOffset() int { return c.IssueToExecuteDelay + 1 }
+
+// Digest returns a stable hash over every configuration field. Sweep
+// checkpoints (internal/sim) store it next to each completed cell so a
+// configuration whose name stayed the same while its parameters changed —
+// common for hand-built ablation variants — never reuses stale results.
+func (c CoreConfig) Digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return h.Sum64()
+}
 
 // baseFrontendDepth is Baseline_0's frontend depth (15 cycles, §3.1); the
 // presets shorten the frontend as the backend deepens to keep the branch

@@ -176,3 +176,26 @@ func TestDelaySweepNames(t *testing.T) {
 }
 
 func itoa(d int) string { return string(rune('0' + d)) }
+
+// TestDigestDiscriminatesContents: equal configs share a digest; changing
+// any parameter (even with the name held fixed) changes it — the property
+// sweep checkpoints rely on to reject stale cells.
+func TestDigestDiscriminatesContents(t *testing.T) {
+	a, err := Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical configs must share a digest")
+	}
+	b.IQEntries *= 2
+	if a.Digest() == b.Digest() {
+		t.Fatal("changed config kept its digest")
+	}
+	c := a
+	c.Scheduler = SchedScan
+	if a.Digest() == c.Digest() {
+		t.Fatal("scheduler implementation change kept its digest")
+	}
+}

@@ -3,56 +3,27 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"specsched/internal/config"
-	"specsched/internal/core"
 	"specsched/internal/stats"
-	"specsched/internal/trace"
 )
 
 // collectConfigs runs arbitrary (possibly non-preset) configurations across
-// the workload set, bypassing the preset-name cache (ablation configs are
-// one-shot).
+// the workload set on the sim pool, bypassing the preset-name cache
+// (ablation configs are one-shot). The set is assembled in grid order, so
+// its iteration order is deterministic too.
 func (r *Runner) collectConfigs(cfgs []config.CoreConfig) (*stats.Set, error) {
+	runs, err := r.runGrid(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	set := stats.NewSet()
-	var mu sync.Mutex
-	sem := make(chan struct{}, r.opts.Parallel)
-	var wg sync.WaitGroup
-	errs := make(chan error, len(cfgs)*len(r.opts.Workloads))
 	for _, cfg := range cfgs {
 		for _, wl := range r.opts.Workloads {
-			wg.Add(1)
-			go func(cfg config.CoreConfig, wl string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				p, err := trace.ByName(wl)
-				if err != nil {
-					errs <- err
-					return
-				}
-				cfg.Scheduler = r.opts.Scheduler
-				c, err := core.New(cfg, trace.New(p), p.Seed)
-				if err != nil {
-					errs <- err
-					return
-				}
-				c.SetWorkloadName(wl)
-				run := c.Run(r.opts.Warmup, r.opts.Measure)
-				mu.Lock()
+			if run := runs[key(cfg.Name, wl)]; run != nil {
 				set.Add(run)
-				mu.Unlock()
-				r.mu.Lock()
-				r.simulated += r.opts.Warmup + r.opts.Measure
-				r.mu.Unlock()
-			}(cfg, wl)
+			}
 		}
-	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
 	}
 	return set, nil
 }

@@ -13,9 +13,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"specsched/internal/config"
-	"specsched/internal/core"
+	"specsched/internal/sim"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
 )
@@ -29,13 +30,28 @@ type Options struct {
 	// Workloads restricts the benchmark list (nil = the full Table 2
 	// suite).
 	Workloads []string
-	// Parallel bounds worker goroutines (0 = GOMAXPROCS).
+	// Parallel bounds sweep worker goroutines (0 = GOMAXPROCS) — the
+	// CLI's -jobs.
 	Parallel int
+	// Seeds is the number of seed replicas per (config, workload) cell
+	// (0/1 = the single calibrated profile seed). Replica counters are
+	// pooled into one Run per cell; see sim.DeriveSeed for the seed
+	// derivation.
+	Seeds int
 	// Scheduler overrides the simulator-side wakeup/select implementation
 	// for every run (config.SchedEvent is the presets' default; the scan
 	// implementation is kept for differential testing and perf-trajectory
 	// comparisons). Results are bit-identical either way.
 	Scheduler config.SchedulerImpl
+	// CellTimeout bounds one cell's wall clock (0 = unbounded); a timed
+	// out cell fails alone, the sweep continues.
+	CellTimeout time.Duration
+	// Checkpoint names a resumable sweep-checkpoint JSON file ("" =
+	// disabled): completed cells are recorded there and an interrupted
+	// sweep restarted with the same options skips them.
+	Checkpoint string
+	// OnProgress, when set, receives a callback after every finished cell.
+	OnProgress func(sim.Progress)
 }
 
 // Defaults fills unset fields.
@@ -52,19 +68,25 @@ func (o Options) withDefaults() Options {
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if o.Seeds <= 0 {
+		o.Seeds = 1
+	}
 	return o
 }
 
-// Runner executes (configuration × workload) simulations, caching results
-// so figures sharing configurations (every figure needs Baseline_0) run
-// each simulation exactly once.
+// Runner executes (configuration × workload × seed) simulations on the
+// internal/sim work-stealing pool, caching pooled per-(config, workload)
+// results so figures sharing configurations (every figure needs
+// Baseline_0) run each simulation exactly once.
 type Runner struct {
 	opts Options
 
 	mu    sync.Mutex
 	cache map[string]*stats.Run
+	ckpt  *sim.Checkpoint
 	// simulated counts µ-ops simulated by this runner (warmup + measure,
-	// per executed job) — the numerator of Minsts/sec throughput reports.
+	// per executed cell; checkpoint-cached cells excluded) — the
+	// numerator of Minsts/sec throughput reports.
 	simulated int64
 }
 
@@ -86,14 +108,97 @@ func (r *Runner) Opts() Options { return r.opts }
 
 func key(cfg, wl string) string { return cfg + "\x00" + wl }
 
-// Collect ensures every (config, workload) pair has run and returns the
-// populated set. Missing pairs execute in parallel.
-func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
-	type job struct {
-		cfg config.CoreConfig
-		wl  string
+// checkpoint lazily opens the runner's resume checkpoint, if configured.
+// The fingerprint covers warmup, measure, and scheduler implementation, so
+// a checkpoint written under different sweep options is rejected instead
+// of silently merged.
+func (r *Runner) checkpoint() (*sim.Checkpoint, error) {
+	if r.opts.Checkpoint == "" {
+		return nil, nil
 	}
-	var jobs []job
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ckpt != nil {
+		return r.ckpt, nil
+	}
+	cp, err := sim.LoadCheckpoint(r.opts.Checkpoint,
+		sim.Fingerprint(r.opts.Warmup, r.opts.Measure, r.opts.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	r.ckpt = cp
+	return cp, nil
+}
+
+// runGrid shards the (cfgs × workloads × seeds) grid across the sim pool
+// and folds seed replicas into one pooled Run per (config, workload) pair.
+// The merge walks results in grid-submission order, so the returned map's
+// contents are bit-identical for any worker count. Cell failures (error,
+// panic, timeout) never abort the sweep; they are aggregated into the
+// returned error after every other cell has completed, so the checkpoint
+// retains the surviving cells.
+func (r *Runner) runGrid(cfgs []config.CoreConfig) (map[string]*stats.Run, error) {
+	cells := make([]sim.Cell, 0, len(cfgs)*len(r.opts.Workloads)*r.opts.Seeds)
+	for _, cfg := range cfgs {
+		cfg.Scheduler = r.opts.Scheduler
+		for _, wl := range r.opts.Workloads {
+			for s := 0; s < r.opts.Seeds; s++ {
+				cells = append(cells, sim.Cell{Config: cfg, Workload: wl, SeedIdx: s})
+			}
+		}
+	}
+	cp, err := r.checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	pool := &sim.Pool{
+		Jobs:        r.opts.Parallel,
+		CellTimeout: r.opts.CellTimeout,
+		Checkpoint:  cp,
+		OnProgress:  r.opts.OnProgress,
+	}
+	results := pool.Run(cells, func(c sim.Cell) (*stats.Run, error) {
+		return sim.Simulate(c, r.opts.Warmup, r.opts.Measure)
+	})
+
+	out := make(map[string]*stats.Run)
+	var failures []string
+	var executed int64
+	for _, res := range results {
+		if res.Err != nil {
+			failures = append(failures, res.Err.Error())
+			continue
+		}
+		if !res.Cached {
+			executed += r.opts.Warmup + r.opts.Measure
+		}
+		k := key(res.Cell.Config.Name, res.Cell.Workload)
+		if pooled, ok := out[k]; ok {
+			pooled.Accumulate(res.Run)
+		} else {
+			clone := *res.Run // checkpoint-owned runs must not be mutated
+			out[k] = &clone
+		}
+	}
+	r.mu.Lock()
+	r.simulated += executed
+	r.mu.Unlock()
+	if cp != nil {
+		if err := cp.Flush(); err != nil {
+			return out, err
+		}
+	}
+	if len(failures) > 0 {
+		return out, fmt.Errorf("experiments: %d/%d cells failed:\n  %s",
+			len(failures), len(cells), strings.Join(failures, "\n  "))
+	}
+	return out, nil
+}
+
+// Collect ensures every (config, workload) pair has run and returns the
+// populated set. Missing pairs execute on the work-stealing pool.
+func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
+	var missing []config.CoreConfig
 	r.mu.Lock()
 	for _, cn := range cfgNames {
 		cfg, err := config.Preset(cn)
@@ -101,47 +206,29 @@ func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
 			r.mu.Unlock()
 			return nil, err
 		}
+		need := false
 		for _, wl := range r.opts.Workloads {
-			if _, ok := r.cache[key(cn, wl)]; !ok {
+			// A nil entry is a reservation left by a failed cell — retry
+			// it rather than silently serving an incomplete set.
+			if run, ok := r.cache[key(cn, wl)]; !ok || run == nil {
 				r.cache[key(cn, wl)] = nil // reserve
-				jobs = append(jobs, job{cfg, wl})
+				need = true
 			}
+		}
+		if need {
+			missing = append(missing, cfg)
 		}
 	}
 	r.mu.Unlock()
 
-	if len(jobs) > 0 {
-		sem := make(chan struct{}, r.opts.Parallel)
-		var wg sync.WaitGroup
-		errs := make(chan error, len(jobs))
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(j job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				p, err := trace.ByName(j.wl)
-				if err != nil {
-					errs <- err
-					return
-				}
-				j.cfg.Scheduler = r.opts.Scheduler
-				c, err := core.New(j.cfg, trace.New(p), p.Seed)
-				if err != nil {
-					errs <- err
-					return
-				}
-				c.SetWorkloadName(j.wl)
-				run := c.Run(r.opts.Warmup, r.opts.Measure)
-				r.mu.Lock()
-				r.cache[key(j.cfg.Name, j.wl)] = run
-				r.simulated += r.opts.Warmup + r.opts.Measure
-				r.mu.Unlock()
-			}(j)
+	if len(missing) > 0 {
+		runs, err := r.runGrid(missing)
+		r.mu.Lock()
+		for k, run := range runs {
+			r.cache[k] = run
 		}
-		wg.Wait()
-		close(errs)
-		if err := <-errs; err != nil {
+		r.mu.Unlock()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -157,6 +244,20 @@ func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
 		}
 	}
 	return set, nil
+}
+
+// Snapshot returns every run this runner has cached so far as a Set in
+// deterministic (sorted-key) order — the payload of cmd/experiments -json.
+func (r *Runner) Snapshot() *stats.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := stats.NewSet()
+	for _, k := range stats.SortedKeys(r.cache) {
+		if run := r.cache[k]; run != nil {
+			set.Add(run)
+		}
+	}
+	return set
 }
 
 // baselineName is the normalization baseline used throughout §5: the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -132,6 +133,134 @@ func TestRunnerParallelDeterminism(t *testing.T) {
 		if *ra != *rb {
 			t.Fatalf("%s: parallel and serial runs differ", wl)
 		}
+	}
+}
+
+// summarySet runs the full Summary() sweep (every config the headline
+// numbers need) and returns the resulting pooled runs.
+func summarySet(t *testing.T, opts Options) (*Runner, *stats.Set) {
+	t.Helper()
+	r := NewRunner(opts)
+	if _, err := r.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	return r, r.Snapshot()
+}
+
+func assertSetsIdentical(t *testing.T, a, b *stats.Set, what string) {
+	t.Helper()
+	ac, bc := a.Configs(), b.Configs()
+	if len(ac) != len(bc) {
+		t.Fatalf("%s: config count %d vs %d", what, len(ac), len(bc))
+	}
+	for _, cn := range ac {
+		for _, wl := range a.Workloads() {
+			ra, rb := a.Get(cn, wl), b.Get(cn, wl)
+			if (ra == nil) != (rb == nil) {
+				t.Fatalf("%s: %s/%s present in one set only", what, cn, wl)
+			}
+			if ra != nil && *ra != *rb {
+				t.Fatalf("%s: %s/%s differs:\n a=%+v\n b=%+v", what, cn, wl, *ra, *rb)
+			}
+		}
+	}
+}
+
+// TestSummarySweepBitIdenticalAcrossJobs pins the pool's determinism
+// contract on the full Summary() sweep: one worker and eight workers must
+// produce bit-identical statistics, cell scheduling order notwithstanding.
+func TestSummarySweepBitIdenticalAcrossJobs(t *testing.T) {
+	opts := tinyOpts()
+	opts.Parallel = 1
+	_, serial := summarySet(t, opts)
+	opts.Parallel = 8
+	_, pooled := summarySet(t, opts)
+	assertSetsIdentical(t, serial, pooled, "jobs=1 vs jobs=8")
+}
+
+// TestSeedReplicasPoolDeterministically: multi-seed sweeps must pool
+// replicas in seed order regardless of worker count, and must actually
+// change the statistics relative to a single-seed sweep.
+func TestSeedReplicasPoolDeterministically(t *testing.T) {
+	opts := tinyOpts()
+	opts.Seeds = 3
+	opts.Parallel = 1
+	a, err := NewRunner(opts).Collect("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	b, err := NewRunner(opts).Collect("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSetsIdentical(t, a, b, "seeds=3 jobs=1 vs jobs=8")
+
+	single := tinyOpts()
+	c, err := NewRunner(single).Collect("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, r1 := a.Get("Baseline_0", "gzip"), c.Get("Baseline_0", "gzip")
+	if r3.Cycles <= r1.Cycles {
+		t.Fatalf("3-seed pooled cycles %d not larger than 1-seed %d", r3.Cycles, r1.Cycles)
+	}
+}
+
+// TestRunnerCheckpointResume: a second runner pointed at the same
+// checkpoint re-simulates nothing and reproduces identical statistics; a
+// wider sweep only simulates the new cells.
+func TestRunnerCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	opts := tinyOpts()
+	opts.Checkpoint = ckpt
+
+	r1 := NewRunner(opts)
+	a, err := r1.Collect("Baseline_0", "SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SimulatedUOps() == 0 {
+		t.Fatal("first sweep simulated nothing")
+	}
+
+	r2 := NewRunner(opts)
+	b, err := r2.Collect("Baseline_0", "SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.SimulatedUOps(); n != 0 {
+		t.Fatalf("resumed sweep re-simulated %d µ-ops, want 0", n)
+	}
+	assertSetsIdentical(t, a, b, "fresh vs resumed")
+
+	// Extending the grid only pays for the new config.
+	r3 := NewRunner(opts)
+	if _, err := r3.Collect("Baseline_0", "SpecSched_4", "SpecSched_4_Crit"); err != nil {
+		t.Fatal(err)
+	}
+	perCfg := (opts.Warmup + opts.Measure) * int64(len(opts.Workloads))
+	if n := r3.SimulatedUOps(); n != perCfg {
+		t.Fatalf("extended sweep simulated %d µ-ops, want %d (one config)", n, perCfg)
+	}
+}
+
+// TestCollectReportsFailedCellsAfterSweep: a bad workload fails its own
+// cells and is named in the error; the error arrives after the sweep (the
+// healthy cells of the same grid still ran and were cached).
+func TestCollectReportsFailedCellsAfterSweep(t *testing.T) {
+	opts := tinyOpts()
+	opts.Workloads = []string{"gzip", "nonexistent"}
+	r := NewRunner(opts)
+	_, err := r.Collect("Baseline_0")
+	if err == nil {
+		t.Fatal("sweep with a broken cell must error")
+	}
+	if !strings.Contains(err.Error(), "nonexistent") || !strings.Contains(err.Error(), "cells failed") {
+		t.Fatalf("error does not name the failed cells: %v", err)
+	}
+	if got := r.Snapshot().Get("Baseline_0", "gzip"); got == nil {
+		t.Fatal("healthy cell was not completed despite the failing sibling")
 	}
 }
 

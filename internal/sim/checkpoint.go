@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"specsched/internal/stats"
+)
+
+// checkpointSchema versions the on-disk format; bump on incompatible
+// change.
+const checkpointSchema = "specsched-sweep-checkpoint/v1"
+
+// flushEvery is how many newly recorded cells trigger an automatic flush.
+// Cells run for seconds, so an 8-cell granularity keeps the at-most-lost
+// work on an interrupt small without rewriting the file per cell.
+const flushEvery = 8
+
+// Checkpoint persists completed cells of a sweep so an interrupted run can
+// resume. The file carries a fingerprint of the sweep-wide options
+// (warmup, measure, scheduler implementation) and a per-cell digest of the
+// full configuration; a lookup only hits when both match, so stale or
+// foreign checkpoints can never contaminate results.
+type Checkpoint struct {
+	path        string
+	fingerprint string
+
+	mu      sync.Mutex
+	cells   map[string]checkpointEntry
+	dirty   int
+	saveErr error
+}
+
+type checkpointEntry struct {
+	// Digest is the cell's config.CoreConfig.Digest() — the guard against
+	// a config whose name stayed the same while its contents changed.
+	Digest uint64     `json:"config_digest"`
+	Run    *stats.Run `json:"run"`
+}
+
+type checkpointFile struct {
+	Schema      string                     `json:"schema"`
+	Fingerprint string                     `json:"fingerprint"`
+	Cells       map[string]checkpointEntry `json:"cells"`
+}
+
+// LoadCheckpoint opens (or creates empty, if the file does not exist) the
+// checkpoint at path. A file written under a different fingerprint or
+// schema is an error: resuming it would silently mix results from
+// different sweep options.
+func LoadCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, fingerprint: fingerprint, cells: map[string]checkpointEntry{}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	if f.Schema != checkpointSchema {
+		return nil, fmt.Errorf("sim: checkpoint %s has schema %q, want %q", path, f.Schema, checkpointSchema)
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("sim: checkpoint %s was written for different sweep options (%s; this sweep: %s) — delete it or point -resume elsewhere", path, f.Fingerprint, fingerprint)
+	}
+	if f.Cells != nil {
+		c.cells = f.Cells
+	}
+	return c, nil
+}
+
+// Len returns the number of completed cells on record.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Lookup returns the recorded run for a cell, if one exists with a
+// matching configuration digest. The returned Run is shared with the
+// checkpoint: callers must copy before mutating.
+func (c *Checkpoint) Lookup(cell Cell) (*stats.Run, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cells[cell.Key()]
+	if !ok || e.Digest != cell.Config.Digest() || e.Run == nil {
+		return nil, false
+	}
+	return e.Run, true
+}
+
+// Record stores a completed cell and flushes to disk every flushEvery new
+// cells. Write errors are retained and surfaced by the next Flush.
+func (c *Checkpoint) Record(cell Cell, run *stats.Run) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[cell.Key()] = checkpointEntry{Digest: cell.Config.Digest(), Run: run}
+	c.dirty++
+	if c.dirty >= flushEvery {
+		c.flushLocked()
+	}
+}
+
+// Flush writes any unsaved cells to disk and reports the first write error
+// encountered since the previous Flush.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty > 0 {
+		c.flushLocked()
+	}
+	err := c.saveErr
+	c.saveErr = nil
+	return err
+}
+
+// flushLocked atomically replaces the file via a temp-file rename, so an
+// interrupt mid-write leaves the previous checkpoint intact.
+func (c *Checkpoint) flushLocked() {
+	data, err := json.MarshalIndent(checkpointFile{
+		Schema:      checkpointSchema,
+		Fingerprint: c.fingerprint,
+		Cells:       c.cells,
+	}, "", " ")
+	if err != nil {
+		c.saveErr = fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		c.saveErr = fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
+		return
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		c.saveErr = fmt.Errorf("sim: checkpoint %s: %w", c.path, werr)
+		return
+	}
+	c.dirty = 0
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"specsched/internal/stats"
+)
+
+// Progress is a snapshot of sweep progress delivered to Pool.OnProgress
+// after every finished cell (including cells satisfied from the
+// checkpoint).
+type Progress struct {
+	Done   int // cells finished so far (failed and cached included)
+	Total  int // cells in the sweep
+	Failed int // cells that errored, panicked, or timed out
+	Cached int // cells satisfied from the resume checkpoint
+	// Cell is the cell that just finished; Elapsed its wall-clock seconds.
+	Cell       Cell
+	CellErr    error
+	CellCached bool
+	Elapsed    float64
+}
+
+// Pool shards a cell grid across worker goroutines. Each worker owns a
+// deque seeded with a round-robin slice of the grid and pops from its
+// front; an idle worker steals from the back of a victim's deque, so load
+// imbalance (mcf cells run ~5x longer than gzip cells) never strands work
+// behind a slow worker. Cells only ever leave deques, which makes
+// termination trivial: a worker that finds every deque empty knows every
+// cell has been claimed.
+type Pool struct {
+	// Jobs is the worker count (0 = GOMAXPROCS).
+	Jobs int
+	// CellTimeout bounds one cell's wall-clock time; 0 disables. A timed
+	// out cell fails with an error and its goroutine is abandoned (the Go
+	// runtime cannot preempt-kill it), which is acceptable for a sweep
+	// process: the stuck goroutine dies with the process.
+	CellTimeout time.Duration
+	// Checkpoint, when non-nil, satisfies already-completed cells without
+	// simulating and records fresh completions for future resumes.
+	Checkpoint *Checkpoint
+	// OnProgress, when non-nil, is invoked after every finished cell, from
+	// a single collector goroutine (no synchronization needed inside).
+	OnProgress func(Progress)
+}
+
+// Run executes every cell through fn and returns the results in cell
+// order — results[i] always corresponds to cells[i], regardless of worker
+// count or completion order, which is what makes downstream merging
+// deterministic. A failing cell (error, panic, timeout) yields a Result
+// with Err set; the sweep always runs to completion.
+func (p *Pool) Run(cells []Cell, fn func(Cell) (*stats.Run, error)) []Result {
+	results := make([]Result, len(cells))
+	prog := Progress{Total: len(cells)}
+
+	report := func(i int) {
+		prog.Done++
+		if results[i].Err != nil {
+			prog.Failed++
+		}
+		if results[i].Cached {
+			prog.Cached++
+		}
+		if p.OnProgress != nil {
+			prog.Cell, prog.CellErr = results[i].Cell, results[i].Err
+			prog.CellCached, prog.Elapsed = results[i].Cached, results[i].Elapsed
+			p.OnProgress(prog)
+		}
+	}
+
+	// Satisfy resumable cells from the checkpoint up front.
+	var todo []int
+	for i, c := range cells {
+		if p.Checkpoint != nil {
+			if run, ok := p.Checkpoint.Lookup(c); ok {
+				results[i] = Result{Cell: c, Run: run, Cached: true}
+				report(i)
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+	if len(todo) == 0 {
+		return results
+	}
+
+	jobs := p.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(todo) {
+		jobs = len(todo)
+	}
+
+	// Round-robin the remaining cells across per-worker deques.
+	deques := make([]*deque, jobs)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for k, idx := range todo {
+		deques[k%jobs].items = append(deques[k%jobs].items, idx)
+	}
+
+	finished := make(chan int, len(todo))
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, ok := deques[w].popFront()
+				if !ok {
+					idx, ok = steal(deques, w)
+				}
+				if !ok {
+					return
+				}
+				results[idx] = p.runCell(cells[idx], fn)
+				finished <- idx
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+
+	// Single collector: progress callbacks and checkpoint records happen
+	// here, in completion order; result slots were already written by the
+	// workers at their deterministic indices.
+	for idx := range finished {
+		if r := &results[idx]; r.Err == nil && p.Checkpoint != nil {
+			p.Checkpoint.Record(r.Cell, r.Run)
+		}
+		report(idx)
+	}
+	return results
+}
+
+// runCell executes one cell in a child goroutine so that panics and
+// timeouts are contained to the cell.
+func (p *Pool) runCell(cell Cell, fn func(Cell) (*stats.Run, error)) Result {
+	start := time.Now()
+	ch := make(chan Result, 1)
+	go func() {
+		defer func() {
+			if pv := recover(); pv != nil {
+				ch <- Result{Cell: cell, Err: fmt.Errorf("cell %s panicked: %v\n%s", cell, pv, debug.Stack())}
+			}
+		}()
+		run, err := fn(cell)
+		if err != nil {
+			err = fmt.Errorf("cell %s: %w", cell, err)
+		}
+		ch <- Result{Cell: cell, Run: run, Err: err}
+	}()
+
+	var res Result
+	if p.CellTimeout > 0 {
+		t := time.NewTimer(p.CellTimeout)
+		select {
+		case res = <-ch:
+			t.Stop()
+		case <-t.C:
+			res = Result{Cell: cell, Err: fmt.Errorf("cell %s exceeded the %v cell timeout (diverging config? goroutine abandoned)", cell, p.CellTimeout)}
+		}
+	} else {
+		res = <-ch
+	}
+	res.Elapsed = time.Since(start).Seconds()
+	return res
+}
+
+// deque is a mutex-guarded work deque of cell indices. Owners pop from the
+// front, thieves from the back — the classic split that keeps owner and
+// thieves mostly touching opposite ends.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	idx := d.items[0]
+	d.items = d.items[1:]
+	return idx, true
+}
+
+func (d *deque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	idx := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return idx, true
+}
+
+// steal scans the other workers' deques round-robin from the caller's
+// right-hand neighbour and takes one cell from the first non-empty back.
+func steal(deques []*deque, self int) (int, bool) {
+	for off := 1; off < len(deques); off++ {
+		if idx, ok := deques[(self+off)%len(deques)].popBack(); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,115 @@
+// Package sim is the experiment-orchestration layer: it shards a
+// (configuration × workload × seed) simulation grid across a work-stealing
+// worker pool, isolates each cell's failures (a panicking or diverging
+// configuration fails its own cell, never the sweep), streams completed
+// cells into a deterministic merge, and checkpoints finished cells to JSON
+// so an interrupted sweep resumes from where it stopped.
+//
+// Determinism is the load-bearing property: every cell's RNG seed is a pure
+// function of (workload, seed index) — see DeriveSeed — and merge order is
+// the grid order the cells were submitted in, so a sweep's aggregate
+// statistics are bit-identical regardless of worker count or the order the
+// scheduler happened to finish cells in. internal/experiments and
+// cmd/benchjson both run on this layer; see DESIGN.md §6.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+)
+
+// Cell is one independently dispatchable unit of the sweep grid: a full
+// core configuration, a workload name, and a seed-replica index.
+type Cell struct {
+	Config   config.CoreConfig
+	Workload string
+	// SeedIdx selects the seed replica. Index 0 is the workload profile's
+	// calibrated seed (bit-compatible with a direct core.New(cfg,
+	// trace.New(p), p.Seed) run); higher indices derive fresh streams via
+	// DeriveSeed.
+	SeedIdx int
+}
+
+// Key returns the checkpoint key of the cell. It deliberately uses the
+// configuration *name*; Checkpoint.Lookup additionally compares the
+// configuration digest so a renamed-but-changed config never reuses stale
+// results.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s\x00%s\x00%d", c.Config.Name, c.Workload, c.SeedIdx)
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s#%d", c.Config.Name, c.Workload, c.SeedIdx)
+}
+
+// Result is the outcome of one cell: either a populated Run or an Err
+// (simulation error, panic, or timeout). Cached marks results satisfied
+// from a resume checkpoint without simulating.
+type Result struct {
+	Cell    Cell
+	Run     *stats.Run
+	Err     error
+	Cached  bool
+	Elapsed float64 // seconds of wall clock spent simulating (0 if cached)
+}
+
+// DeriveSeed maps (base profile seed, workload, seed index) to the RNG seed
+// of one cell. Index 0 returns the profile's calibrated seed unchanged so
+// the default single-seed sweep stays bit-identical to the historical
+// serial path; higher indices mix the workload name and index through
+// splitmix64 so replicas are decorrelated but reproducible.
+//
+// The configuration is deliberately *not* hashed in: the paper's
+// normalization (every config vs Baseline_0, per benchmark) requires all
+// configurations of a workload to execute the identical instruction
+// stream, which means the trace seed must depend on the workload and seed
+// index only.
+func DeriveSeed(base uint64, workload string, seedIdx int) uint64 {
+	if seedIdx == 0 {
+		return base
+	}
+	h := fnv.New64a()
+	io.WriteString(h, workload)
+	return splitmix64(base ^ h.Sum64() ^ (uint64(seedIdx) * 0x9e3779b97f4a7c15))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Simulate runs one cell to completion: it resolves the workload profile,
+// derives the cell seed, builds a core with the cell's configuration, and
+// executes warmup+measure µ-ops. It is the production cell function handed
+// to Pool.Run by internal/experiments.
+func Simulate(cell Cell, warmup, measure int64) (*stats.Run, error) {
+	p, err := trace.ByName(cell.Workload)
+	if err != nil {
+		return nil, err
+	}
+	p = p.WithSeed(DeriveSeed(p.Seed, cell.Workload, cell.SeedIdx))
+	c, err := core.New(cell.Config, trace.New(p), p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.SetWorkloadName(cell.Workload)
+	return c.Run(warmup, measure), nil
+}
+
+// Fingerprint summarizes the sweep-wide options that determine a cell's
+// result beyond its (config, workload, seed) coordinates. Checkpoints
+// created under a different fingerprint are rejected rather than silently
+// merged.
+func Fingerprint(warmup, measure int64, sched config.SchedulerImpl) string {
+	return fmt.Sprintf("warmup=%d,measure=%d,sched=%s", warmup, measure, sched)
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/stats"
+	"specsched/internal/trace"
+)
+
+func testGrid(t *testing.T, cfgNames []string, workloads []string, seeds int) []Cell {
+	t.Helper()
+	var cells []Cell
+	for _, cn := range cfgNames {
+		cfg, err := config.Preset(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wl := range workloads {
+			for s := 0; s < seeds; s++ {
+				cells = append(cells, Cell{Config: cfg, Workload: wl, SeedIdx: s})
+			}
+		}
+	}
+	return cells
+}
+
+// fakeRun synthesizes a deterministic Run from cell coordinates, so pool
+// tests need no simulation.
+func fakeRun(c Cell) (*stats.Run, error) {
+	return &stats.Run{
+		Workload:  c.Workload,
+		Config:    c.Config.Name,
+		Cycles:    int64(len(c.Workload)) + int64(c.SeedIdx),
+		Committed: int64(c.Config.IssueToExecuteDelay),
+	}, nil
+}
+
+func TestPoolResultsInCellOrder(t *testing.T) {
+	cells := testGrid(t, []string{"Baseline_0", "SpecSched_4"}, []string{"gzip", "mcf", "swim"}, 2)
+	for _, jobs := range []int{1, 3, 8, 32} {
+		p := &Pool{Jobs: jobs}
+		results := p.Run(cells, fakeRun)
+		if len(results) != len(cells) {
+			t.Fatalf("jobs=%d: %d results for %d cells", jobs, len(results), len(cells))
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("jobs=%d: cell %s failed: %v", jobs, cells[i], res.Err)
+			}
+			if res.Cell != cells[i] {
+				t.Fatalf("jobs=%d: result %d is for %s, want %s", jobs, i, res.Cell, cells[i])
+			}
+			want, _ := fakeRun(cells[i])
+			if *res.Run != *want {
+				t.Fatalf("jobs=%d: cell %s run mismatch", jobs, cells[i])
+			}
+		}
+	}
+}
+
+func TestPoolProgressAccounting(t *testing.T) {
+	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf"}, 3)
+	var events []Progress
+	p := &Pool{Jobs: 4, OnProgress: func(pr Progress) { events = append(events, pr) }}
+	p.Run(cells, fakeRun)
+	if len(events) != len(cells) {
+		t.Fatalf("%d progress events for %d cells", len(events), len(cells))
+	}
+	last := events[len(events)-1]
+	if last.Done != len(cells) || last.Total != len(cells) || last.Failed != 0 || last.Cached != 0 {
+		t.Fatalf("final progress %+v", last)
+	}
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf", "swim", "art"}, 1)
+	p := &Pool{Jobs: 4}
+	results := p.Run(cells, func(c Cell) (*stats.Run, error) {
+		if c.Workload == "mcf" {
+			panic("diverging configuration")
+		}
+		return fakeRun(c)
+	})
+	var failed, ok int
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			if !strings.Contains(res.Err.Error(), "panicked") ||
+				!strings.Contains(res.Err.Error(), "diverging configuration") {
+				t.Fatalf("panic error lost its cause: %v", res.Err)
+			}
+			if res.Cell.Workload != "mcf" {
+				t.Fatalf("wrong cell failed: %s", res.Cell)
+			}
+		} else {
+			ok++
+		}
+	}
+	if failed != 1 || ok != 3 {
+		t.Fatalf("failed=%d ok=%d, want 1/3 — a panic must fail its cell only", failed, ok)
+	}
+}
+
+func TestPoolCellTimeout(t *testing.T) {
+	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf", "swim"}, 1)
+	p := &Pool{Jobs: 3, CellTimeout: 20 * time.Millisecond}
+	results := p.Run(cells, func(c Cell) (*stats.Run, error) {
+		if c.Workload == "swim" {
+			time.Sleep(2 * time.Second) // a "diverging" cell
+		}
+		return fakeRun(c)
+	})
+	for _, res := range results {
+		if res.Cell.Workload == "swim" {
+			if res.Err == nil || !strings.Contains(res.Err.Error(), "timeout") {
+				t.Fatalf("diverging cell did not time out: %v", res.Err)
+			}
+		} else if res.Err != nil {
+			t.Fatalf("healthy cell %s failed: %v", res.Cell, res.Err)
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if got := DeriveSeed(1234, "gzip", 0); got != 1234 {
+		t.Fatalf("seed index 0 must preserve the calibrated profile seed, got %d", got)
+	}
+	seen := map[uint64]string{}
+	for _, wl := range []string{"gzip", "mcf"} {
+		for idx := 1; idx <= 4; idx++ {
+			s := DeriveSeed(1234, wl, idx)
+			if s2 := DeriveSeed(1234, wl, idx); s2 != s {
+				t.Fatalf("DeriveSeed not deterministic: %d vs %d", s, s2)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s#%d and %s", wl, idx, prev)
+			}
+			seen[s] = fmt.Sprintf("%s#%d", wl, idx)
+		}
+	}
+}
+
+// TestSimulateMatchesDirectRun pins the bit-compatibility contract: a
+// seed-0 cell through the orchestration layer is the identical simulation
+// as the historical direct core.New + Run path.
+func TestSimulateMatchesDirectRun(t *testing.T) {
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Simulate(Cell{Config: cfg, Workload: "gzip"}, 2000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.New(cfg, trace.New(p), p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetWorkloadName("gzip")
+	want := c.Run(2000, 8000)
+	if *got != *want {
+		t.Fatalf("pool cell diverged from direct run:\n got %+v\nwant %+v", *got, *want)
+	}
+}
+
+// TestSeedReplicasDiffer checks replicas actually decorrelate: a seed-1
+// cell must produce different dynamics than seed 0.
+func TestSeedReplicasDiffer(t *testing.T) {
+	cfg, err := config.Preset("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := Simulate(Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Simulate(Cell{Config: cfg, Workload: "gzip", SeedIdx: 1}, 1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Cycles == r1.Cycles && r0.Issued == r1.Issued && r0.L1Misses == r1.L1Misses {
+		t.Fatal("seed replica 1 is identical to replica 0 — DeriveSeed not reaching the generator")
+	}
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	const fp = "warmup=1,measure=2,sched=event"
+	cells := testGrid(t, []string{"Baseline_0", "SpecSched_4"}, []string{"gzip", "mcf"}, 2)
+
+	cp, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simulated atomic.Int64
+	run := func(c Cell) (*stats.Run, error) { simulated.Add(1); return fakeRun(c) }
+	first := (&Pool{Jobs: 4, Checkpoint: cp}).Run(cells, run)
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if int(simulated.Load()) != len(cells) {
+		t.Fatalf("first sweep simulated %d of %d cells", simulated.Load(), len(cells))
+	}
+
+	// Resume: every cell must come from the checkpoint, bit-identical.
+	cp2, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Len() != len(cells) {
+		t.Fatalf("reloaded checkpoint has %d cells, want %d", cp2.Len(), len(cells))
+	}
+	simulated.Store(0)
+	second := (&Pool{Jobs: 4, Checkpoint: cp2}).Run(cells, run)
+	if simulated.Load() != 0 {
+		t.Fatalf("resume re-simulated %d cells", simulated.Load())
+	}
+	for i := range cells {
+		if !second[i].Cached {
+			t.Fatalf("cell %s not satisfied from checkpoint", cells[i])
+		}
+		if !reflect.DeepEqual(*first[i].Run, *second[i].Run) {
+			t.Fatalf("cell %s changed across resume", cells[i])
+		}
+	}
+
+	// A partial grid extension simulates only the new cells.
+	more := append(append([]Cell(nil), cells...),
+		testGrid(t, []string{"Baseline_2"}, []string{"gzip"}, 1)...)
+	cp3, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated.Store(0)
+	(&Pool{Jobs: 2, Checkpoint: cp3}).Run(more, run)
+	if simulated.Load() != 1 {
+		t.Fatalf("extension simulated %d cells, want 1", simulated.Load())
+	}
+}
+
+func TestCheckpointRejectsForeignFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := LoadCheckpoint(path, "warmup=1,measure=2,sched=event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := config.Preset("Baseline_0")
+	run, _ := fakeRun(Cell{Config: cfg, Workload: "gzip"})
+	cp.Record(Cell{Config: cfg, Workload: "gzip"}, run)
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, "warmup=9,measure=9,sched=scan"); err == nil {
+		t.Fatal("checkpoint with mismatched sweep options must be rejected")
+	}
+}
+
+// TestCheckpointRejectsChangedConfig: same cell key, different config
+// contents — the digest guard must force a re-simulation.
+func TestCheckpointRejectsChangedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	const fp = "fp"
+	cfg, _ := config.Preset("SpecSched_4")
+	cell := Cell{Config: cfg, Workload: "gzip"}
+	cp, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _ := fakeRun(cell)
+	cp.Record(cell, run)
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := LoadCheckpoint(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cp2.Lookup(cell); !ok {
+		t.Fatal("unchanged config must hit the checkpoint")
+	}
+	changed := cell
+	changed.Config.IQEntries *= 2 // same Name, different machine
+	if _, ok := cp2.Lookup(changed); ok {
+		t.Fatal("checkpoint hit for a config whose contents changed under the same name")
+	}
+}
+
+func TestStealTakesFromVictimBack(t *testing.T) {
+	deques := []*deque{{items: []int{}}, {items: []int{10, 11, 12}}}
+	idx, ok := steal(deques, 0)
+	if !ok || idx != 12 {
+		t.Fatalf("steal got (%d,%v), want back item 12", idx, ok)
+	}
+	if n := len(deques[1].items); n != 2 {
+		t.Fatalf("victim deque has %d items after steal, want 2", n)
+	}
+}

@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -88,6 +89,22 @@ func (r *Run) MaskSchedulerCounters() Run {
 	cp.SchedWakeups = 0
 	cp.SchedEvents = 0
 	return cp
+}
+
+// Accumulate adds every counter of o into r — the pooling step that folds
+// seed replicas of one (config, workload) cell into a single Run whose
+// ratio statistics (IPC, miss rate, MPKI) become pooled-over-replicas
+// values. It sums all int64 fields reflectively so future counters are
+// pooled automatically; the identity fields (Workload, Config) are left
+// untouched and must already agree.
+func (r *Run) Accumulate(o *Run) {
+	rv := reflect.ValueOf(r).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		if f := rv.Field(i); f.Kind() == reflect.Int64 {
+			f.SetInt(f.Int() + ov.Field(i).Int())
+		}
+	}
 }
 
 // WakeupsPerCycle returns average consumer wakeups per simulated cycle.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -173,5 +174,56 @@ func TestSortedKeys(t *testing.T) {
 	ks := SortedKeys(m)
 	if len(ks) != 3 || ks[0] != "a" || ks[1] != "b" || ks[2] != "c" {
 		t.Fatalf("SortedKeys = %v", ks)
+	}
+}
+
+// TestAccumulateSumsEveryCounter sets every int64 field of both operands
+// to known values via reflection, so a future counter added to Run cannot
+// silently escape seed-replica pooling.
+func TestAccumulateSumsEveryCounter(t *testing.T) {
+	a := &Run{Workload: "gzip", Config: "Baseline_0"}
+	b := &Run{Workload: "gzip", Config: "Baseline_0"}
+	av, bv := reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem()
+	n := 0
+	for i := 0; i < av.NumField(); i++ {
+		switch av.Field(i).Kind() {
+		case reflect.Int64:
+			av.Field(i).SetInt(int64(i + 1))
+			bv.Field(i).SetInt(int64(10 * (i + 1)))
+			n++
+		case reflect.String: // identity fields, not pooled
+		default:
+			// Accumulate only sums int64 fields; any other counter kind
+			// would silently escape seed-replica pooling.
+			t.Fatalf("field %s has kind %s — extend Run.Accumulate (and this test) to pool it",
+				av.Type().Field(i).Name, av.Field(i).Kind())
+		}
+	}
+	if n < 20 {
+		t.Fatalf("only %d int64 counters found — Run layout changed?", n)
+	}
+	a.Accumulate(b)
+	for i := 0; i < av.NumField(); i++ {
+		switch av.Field(i).Kind() {
+		case reflect.Int64:
+			if got, want := av.Field(i).Int(), int64(11*(i+1)); got != want {
+				t.Errorf("field %s: got %d, want %d", av.Type().Field(i).Name, got, want)
+			}
+		case reflect.String:
+			if av.Field(i).String() == "" {
+				t.Errorf("identity field %s was clobbered", av.Type().Field(i).Name)
+			}
+		}
+	}
+}
+
+// TestAccumulatePoolsRatios: pooled IPC is total committed over total
+// cycles, not a mean of per-replica IPCs.
+func TestAccumulatePoolsRatios(t *testing.T) {
+	a := run("gzip", "Baseline_0", 100, 100) // IPC 1.0
+	b := run("gzip", "Baseline_0", 100, 300) // IPC 0.33
+	a.Accumulate(b)
+	if got, want := a.IPC(), 200.0/400.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pooled IPC %f, want %f", got, want)
 	}
 }

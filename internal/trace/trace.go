@@ -65,6 +65,15 @@ type Profile struct {
 	RandomBranchFrac float64 // blocks ending in an unpredictable branch
 }
 
+// WithSeed returns a copy of the profile with its RNG seed replaced — the
+// hook internal/sim uses to run decorrelated seed replicas of one workload.
+// The static program shape is a function of the seed, so two replicas of a
+// profile are distinct-but-statistically-alike programs.
+func (p Profile) WithSeed(seed uint64) Profile {
+	p.Seed = seed
+	return p
+}
+
 // Validate reports obviously broken profiles.
 func (p *Profile) Validate() error {
 	switch {
