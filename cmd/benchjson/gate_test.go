@@ -1,6 +1,32 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLatestBench(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := latestBench(dir); err == nil {
+		t.Error("empty dir: want an error, got a baseline")
+	}
+	for _, name := range []string{
+		"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", // 10 > 2 numerically, not lexically
+		"BENCH_3.json.bak", "BENCH_x.json", "bench-smoke.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBench(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_10.json"); got != want {
+		t.Errorf("latestBench = %q, want %q", got, want)
+	}
+}
 
 func TestGateEventThroughput(t *testing.T) {
 	base := comparison{Name: "table2", EventMinsts: 2.0, ScanMinsts: 1.0, Speedup: 2.0}

@@ -13,15 +13,17 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_1.json] [-reps 3] [-warmup N] [-measure N]
-//	                       [-jobs N] [-smoke] [-gate BENCH_1.json] [-maxregress 0.20]
+//	                       [-jobs N] [-smoke] [-for LABEL]
+//	                       [-gate BENCH_<n>.json|auto] [-maxregress 0.20]
 //
-// -smoke shrinks windows and repetitions to a CI-sized run (the figure
-// sweep is skipped; the scheduler comparison is kept). -gate compares the
-// run's Table 2 event-mode throughput against a committed baseline file
-// and exits non-zero on a regression beyond -maxregress; the current
-// scan-mode throughput anchors the comparison so that the gate measures
-// the scheduler, not the speed of the machine CI happened to land on (see
-// gateEventThroughput).
+// -smoke skips the figure sweep for a CI-sized run (the scheduler
+// comparison is kept at the default windows and reps, so it stays
+// like-for-like with committed baselines). -gate compares the run's
+// Table 2 event-mode throughput against a committed baseline file —
+// "auto" selects the highest-numbered BENCH_<n>.json — and exits non-zero
+// on a regression beyond -maxregress; the current scan-mode throughput
+// anchors the comparison so that the gate measures the scheduler, not the
+// speed of the machine CI happened to land on (see gateEventThroughput).
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -177,6 +180,32 @@ func iq256Throughput(impl config.SchedulerImpl, measure int64) (float64, error) 
 	return float64(r.Committed) / time.Since(start).Seconds() / 1e6, nil
 }
 
+// latestBench returns the committed BENCH_<n>.json in dir with the highest
+// n — the gate baseline "auto" resolves to, so CI keeps gating against the
+// newest committed trajectory point without the workflow hard-coding a
+// filename that every bench-recording PR would have to edit.
+func latestBench(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		name := e.Name()
+		var n int
+		if _, err := fmt.Sscanf(name, "BENCH_%d.json", &n); err != nil || name != fmt.Sprintf("BENCH_%d.json", n) {
+			continue
+		}
+		if n > bestN {
+			best, bestN = name, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json found in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
 // loadBaseline reads a previously committed benchjson report.
 func loadBaseline(path string) (report, error) {
 	var rep report
@@ -219,24 +248,42 @@ func main() {
 	warmup := flag.Int64("warmup", 4000, "warmup µ-ops per run")
 	measure := flag.Int64("measure", 20000, "measured µ-ops per run")
 	jobs := flag.Int("jobs", 0, "sweep worker goroutines for the figure runs (default: GOMAXPROCS)")
-	smoke := flag.Bool("smoke", false, "CI-sized run: reps=1, short windows, figure sweep skipped")
-	gate := flag.String("gate", "", "baseline BENCH_<n>.json to gate Table 2 event throughput against")
+	smoke := flag.Bool("smoke", false, "CI-sized run: figure sweep skipped (comparison windows/reps unchanged)")
+	gate := flag.String("gate", "", "baseline BENCH_<n>.json to gate Table 2 event throughput against (\"auto\" = highest-numbered committed BENCH_<n>.json)")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional event-throughput regression for -gate")
+	createdFor := flag.String("for", "", "label recorded as created_for (what this trajectory point measures)")
 	flag.Parse()
 
-	if *smoke {
-		explicit := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		if !explicit["reps"] {
-			*reps = 1
+	// Resolve and load the gate baseline BEFORE anything is measured or
+	// written: -gate auto must not be able to select the file this very
+	// run is about to write with -out, which would gate the run against
+	// itself and pass vacuously.
+	var gatePath string
+	var gateBase report
+	if *gate != "" {
+		gatePath = *gate
+		if gatePath == "auto" {
+			var err error
+			if gatePath, err = latestBench("."); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+				os.Exit(1)
+			}
+			fmt.Println("gate: auto-selected baseline", gatePath)
 		}
-		if !explicit["warmup"] {
-			*warmup = 2000
-		}
-		if !explicit["measure"] {
-			*measure = 10000
+		var err error
+		if gateBase, err = loadBaseline(gatePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
+			os.Exit(1)
 		}
 	}
+
+	// -smoke only skips the figure sweep; the scheduler comparison keeps
+	// the default windows and reps. The gate's scan-anchored comparison is
+	// only meaningful like-for-like with the committed baseline (recorded
+	// at the defaults): quiescent-cycle skipping makes the event/scan
+	// ratio depend on the measurement window, so a shrunken smoke window
+	// would read as a phantom regression. The comparison itself is cheap —
+	// the figure sweep is what a CI run cannot afford.
 
 	opts := experiments.Options{
 		Warmup:    *warmup,
@@ -244,13 +291,15 @@ func main() {
 		Workloads: benchWorkloads,
 		Parallel:  *jobs,
 	}
-	createdFor := "event-driven wakeup/select scheduler"
-	if *smoke {
-		createdFor = "smoke run (CI bench-regression gate)"
+	if *createdFor == "" {
+		*createdFor = "perf trajectory point"
+		if *smoke {
+			*createdFor = "smoke run (CI bench-regression gate)"
+		}
 	}
 	rep := report{
 		Schema:     "specsched-bench/v1",
-		CreatedFor: createdFor,
+		CreatedFor: *createdFor,
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		Reps:       *reps,
@@ -317,13 +366,8 @@ func main() {
 	fmt.Println("wrote", *out)
 
 	if *gate != "" {
-		base, err := loadBaseline(*gate)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: gate:", err)
-			os.Exit(1)
-		}
 		baseT2 := comparison{}
-		for _, c := range base.Scheduler {
+		for _, c := range gateBase.Scheduler {
 			if c.Name == "table2" {
 				baseT2 = c
 			}
@@ -331,7 +375,7 @@ func main() {
 		verdict, ok := gateEventThroughput(t2, baseT2, *maxRegress)
 		fmt.Println(verdict)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION against %s\n", *gate)
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION against %s\n", gatePath)
 			os.Exit(1)
 		}
 	}

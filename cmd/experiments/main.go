@@ -6,7 +6,7 @@
 //
 //	experiments [-exp all|table1,fig5,...] [-list]
 //	            [-measure N] [-warmup N] [-workloads a,b,c] [-filter REGEX]
-//	            [-jobs N] [-seeds N] [-timeout DUR]
+//	            [-jobs N] [-seeds N] [-timeout DUR] [-timeskip=false]
 //	            [-resume FILE] [-json FILE] [-progress]
 //
 // Each report prints the same rows/series the paper reports, normalized the
@@ -19,6 +19,10 @@
 //	-filter   regular expression selecting workloads (applied to the
 //	          -workloads list, default the full 36-benchmark suite)
 //	-timeout  per-cell wall-clock bound; a diverging cell fails alone
+//	-timeskip quiescent-cycle skipping (default true): advance simulated
+//	          time event-to-event over provably dead cycles; results are
+//	          bit-identical either way, only simulator speed changes.
+//	          -timeskip=false restores per-cycle stepping
 //	-resume   resumable sweep checkpoint: completed cells are saved there
 //	          and skipped when the sweep restarts with the same options
 //	-json     write the reports plus every per-(config, workload) run as
@@ -81,6 +85,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "sweep worker goroutines (default: GOMAXPROCS)")
 	seeds := flag.Int("seeds", 1, "seed replicas per (config, workload) cell, pooled")
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
+	timeskip := flag.Bool("timeskip", true, "skip provably quiescent cycles event-to-event (bit-identical; off = per-cycle stepping)")
 	resume := flag.String("resume", "", "resumable sweep checkpoint file (created if missing)")
 	jsonOut := flag.String("json", "", "write reports and per-cell runs as JSON to this file")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
@@ -113,13 +118,14 @@ func main() {
 	}
 
 	opts := experiments.Options{
-		Warmup:      *warmup,
-		Measure:     *measure,
-		Workloads:   wls,
-		Parallel:    *jobs,
-		Seeds:       *seeds,
-		CellTimeout: *timeout,
-		Checkpoint:  *resume,
+		Warmup:          *warmup,
+		Measure:         *measure,
+		Workloads:       wls,
+		Parallel:        *jobs,
+		Seeds:           *seeds,
+		CellTimeout:     *timeout,
+		Checkpoint:      *resume,
+		DisableTimeSkip: !*timeskip,
 	}
 	if *progress {
 		opts.OnProgress = func(p sim.Progress) {

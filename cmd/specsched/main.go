@@ -83,5 +83,10 @@ func main() {
 	if cfg.Scheduler == config.SchedEvent {
 		fmt.Printf("  scheduler (event)   %8.2f wakeups/cycle, %.2f events/cycle\n",
 			r.WakeupsPerCycle(), r.EventsPerCycle())
+		if r.SkipSpans > 0 {
+			fmt.Printf("  time skipped        %8.1f%%   (%d of %d cycles in %d spans)\n",
+				100*float64(r.SkippedCycles)/float64(r.Cycles),
+				r.SkippedCycles, r.Cycles, r.SkipSpans)
+		}
 	}
 }

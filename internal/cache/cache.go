@@ -14,6 +14,29 @@ type MemBackend interface {
 	Access(addr, pc uint64, now int64, write bool) int64
 }
 
+// CompletionSource is implemented by hierarchy levels that can report
+// pending in-flight work. NextCompletion returns the earliest cycle
+// strictly after now at which an in-flight fill completes at this level or
+// any level below, or -1 when nothing is in flight. The core's
+// quiescent-cycle skipper folds it into its "next interesting cycle"
+// minimum; the bound is conservative (every fill someone actually waits on
+// already has a scheduled wakeup), so it may only shorten a skip, never
+// lengthen one.
+type CompletionSource interface {
+	NextCompletion(now int64) int64
+}
+
+// combineCompletions folds two NextCompletion results (-1 = none).
+func combineCompletions(a, b int64) int64 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	return min(a, b)
+}
+
 const invalidTag = ^uint64(0)
 
 // Array is a set-associative tag array with true LRU replacement. It tracks
@@ -336,6 +359,16 @@ func (m *mshrFile) earliest() int64 {
 		return -1
 	}
 	return e.at
+}
+
+// nextCompletion returns the earliest in-flight fill completing strictly
+// after now, or -1 when none is in flight. Completed fills are pruned
+// first; pruning earlier than the next allocate would have is unobservable
+// (completed entries can never influence a lookup or capacity decision),
+// so calling this every cycle is safe.
+func (m *mshrFile) nextCompletion(now int64) int64 {
+	m.prune(now)
+	return m.earliest()
 }
 
 // allocate registers a new in-flight fill. If the file is full even after

@@ -77,6 +77,9 @@ type L1D struct {
 	arr  *Array
 	mshr *mshrFile
 	next MemBackend
+	// below is next's CompletionSource view, resolved once at construction
+	// (NextCompletion runs on the simulator's per-skip-attempt path).
+	below CompletionSource
 
 	loadToUse int64
 	banked    bool
@@ -100,7 +103,7 @@ type L1D struct {
 // NewL1D constructs the L1D from the core configuration, backed by next
 // (normally the L2).
 func NewL1D(cfg *config.CoreConfig, next MemBackend) *L1D {
-	return &L1D{
+	l := &L1D{
 		arr:       NewArray(cfg.L1D.SizeBytes, cfg.L1D.Ways, cfg.L1D.LineBytes),
 		mshr:      newMSHRFile(cfg.L1D.MSHRs),
 		next:      next,
@@ -112,6 +115,8 @@ func NewL1D(cfg *config.CoreConfig, next MemBackend) *L1D {
 		readPorts: 2,
 		occ:       newOccRing(cfg.L1Banks),
 	}
+	l.below, _ = next.(CompletionSource)
+	return l
 }
 
 // LoadToUse returns the L1 load-to-use latency in cycles.
@@ -214,7 +219,7 @@ func (l *L1D) Load(addr, pc uint64, now int64) LoadResult {
 		// Merge with an in-flight miss to the same line.
 		res.Merged = true
 		l.MSHRMerges++
-		res.DataReady = maxInt64(fill, service+l.loadToUse)
+		res.DataReady = max(fill, service+l.loadToUse)
 		return res
 	}
 
@@ -222,7 +227,7 @@ func (l *L1D) Load(addr, pc uint64, now int64) LoadResult {
 	fill := l.next.Access(addr, pc, start+l.loadToUse, false)
 	l.mshr.record(line, fill)
 	l.arr.Insert(addr)
-	res.DataReady = maxInt64(fill, service+l.loadToUse)
+	res.DataReady = max(fill, service+l.loadToUse)
 	return res
 }
 
@@ -248,9 +253,12 @@ func (l *L1D) Store(addr, pc uint64, now int64) {
 // Probe reports whether addr is present, without disturbing LRU or stats.
 func (l *L1D) Probe(addr uint64) bool { return l.arr.Contains(addr) }
 
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
+// NextCompletion implements CompletionSource for the whole hierarchy under
+// the L1D: the earliest MSHR fill still in flight here or below, or -1.
+func (l *L1D) NextCompletion(now int64) int64 {
+	below := int64(-1)
+	if l.below != nil {
+		below = l.below.NextCompletion(now)
 	}
-	return b
+	return combineCompletions(l.mshr.nextCompletion(now), below)
 }

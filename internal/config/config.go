@@ -222,6 +222,16 @@ type CoreConfig struct {
 	// testing). It must not affect simulated timing, only simulator speed.
 	Scheduler SchedulerImpl
 
+	// TimeSkip lets the event-driven scheduler advance simulated time
+	// straight to the next scheduled event when the machine is provably
+	// quiescent (no ready or replayable µ-op, no due timing-wheel entry,
+	// no retirable ROB head, front end blocked) instead of stepping the
+	// pipeline loop through every dead cycle. Per-cycle statistics are
+	// bulk-accumulated over the skipped span, so results are bit-identical
+	// to per-cycle stepping (asserted by the differential suite). Ignored
+	// by SchedScan, which always steps cycle by cycle. On by default.
+	TimeSkip bool
+
 	// Hit/miss filter geometry (§5.2).
 	FilterEntries       int
 	FilterResetInterval int64
@@ -339,6 +349,7 @@ func Default() CoreConfig {
 		ScheduleShifting: false,
 		CriticalityGate:  false,
 		Replay:           RecoveryBuffer,
+		TimeSkip:         true,
 
 		FilterEntries:       2048,
 		FilterResetInterval: 10000,

@@ -43,5 +43,15 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			t.Errorf("%s/%s: %.1f allocations per 2000 steady-state cycles, want 0",
 				tc.preset, tc.wl, avg)
 		}
+		// The quiescent-cycle skip path (stepTo with config.TimeSkip) must
+		// be just as clean: quiesceTarget only reads, skipQuiescent only
+		// bumps counters.
+		avg = testing.AllocsPerRun(20, func() {
+			c.Run(0, 500)
+		})
+		if avg != 0 {
+			t.Errorf("%s/%s: %.1f allocations per 500 committed µ-ops through stepTo, want 0",
+				tc.preset, tc.wl, avg)
+		}
 	}
 }

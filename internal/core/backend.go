@@ -94,14 +94,16 @@ func (c *Core) ready(e *inst) bool {
 		return false
 	}
 	if e.memDepID >= 0 {
-		// Re-resolved on every evaluation, as the original scan scheduler
-		// modeled it. The event-driven path memoizes satisfaction at
-		// enqueue time instead (see eventSched.enqueue) — satisfaction is
-		// monotone while e lives — so its pop-time re-checks rarely reach
-		// this branch.
 		if s := c.findStore(e.memDepID); s != nil && !s.executed {
 			return false
 		}
+		// Memoize the satisfied dependence: it is monotone while e lives
+		// (the store can only stay executed or leave the SQ; a squash that
+		// refetches e builds a fresh inst with a fresh memDepID), so the
+		// repeated SQ binary searches — every recovery-buffer poll, every
+		// scan-mode IQ pass — collapse to one. The event-driven enqueue
+		// path memoizes identically (see parkTarget).
+		e.memDepID = -1
 	}
 	return true
 }
@@ -295,10 +297,10 @@ func (c *Core) executeOne(e *inst) {
 	// completion time stretched to stay causally consistent.
 	lateBy := int64(0)
 	if e.src1Phys >= 0 && c.actReady[e.src1Phys] > c.cycle {
-		lateBy = maxI64(lateBy, c.actReady[e.src1Phys]-c.cycle)
+		lateBy = max(lateBy, c.actReady[e.src1Phys]-c.cycle)
 	}
 	if e.src2Phys >= 0 && c.actReady[e.src2Phys] > c.cycle {
-		lateBy = maxI64(lateBy, c.actReady[e.src2Phys]-c.cycle)
+		lateBy = max(lateBy, c.actReady[e.src2Phys]-c.cycle)
 	}
 	if lateBy > 0 {
 		c.run.LateOperands++
@@ -365,7 +367,7 @@ func (c *Core) executeLoad(e *inst, lateBy int64) {
 		}
 		e.loadRes = res
 		e.loadHit = res.Hit
-		e.doneCycle = maxI64(res.DataReady, c.cycle+lateBy+c.l1.LoadToUse())
+		e.doneCycle = max(res.DataReady, c.cycle+lateBy+c.l1.LoadToUse())
 		if !res.Hit {
 			c.missThisCycle = true
 		}
@@ -830,11 +832,4 @@ func removeOldest(in []*inst, e *inst) []*inst {
 		return in[1:]
 	}
 	return removeInst(in, e)
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

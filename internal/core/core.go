@@ -38,6 +38,10 @@ func (a dramAdapter) Access(addr, pc uint64, now int64, write bool) int64 {
 	return a.d.Access(addr, now, write)
 }
 
+func (a dramAdapter) NextCompletion(now int64) int64 {
+	return a.d.NextCompletion(now)
+}
+
 // Core is one simulated processor running one workload. It is not safe for
 // concurrent use; run one Core per goroutine.
 type Core struct {
@@ -175,7 +179,7 @@ func New(cfg config.CoreConfig, stream uop.Stream, wpSeed uint64) (*Core, error)
 	c.issueBlock = -1
 	c.robBuf = make([]*inst, 0, 2*cfg.ROBEntries)
 	c.rob = c.robBuf
-	frontCap := cfg.FrontendDepth*cfg.FetchWidth + cfg.FetchWidth
+	frontCap := c.frontCap()
 	c.frontBuf = make([]*inst, 0, 2*frontCap+cfg.FetchWidth)
 	c.frontQ = c.frontBuf
 	c.lqBuf = make([]*inst, 0, 2*cfg.LQEntries)
@@ -329,9 +333,9 @@ func (c *Core) Step() {
 // then simulates until measure more µ-ops commit, and returns the
 // measurement window's statistics.
 func (c *Core) Run(warmup, measure int64) *stats.Run {
-	c.runUntil(c.committed + warmup)
+	c.stepTo(c.committed + warmup)
 	c.ResetStats()
-	c.runUntil(c.committed + measure)
+	c.stepTo(c.committed + measure)
 	return c.run
 }
 
@@ -342,9 +346,20 @@ func (c *Core) ResetStats() {
 	*c.run = stats.Run{Workload: name, Config: cfgName}
 }
 
-func (c *Core) runUntil(targetCommitted int64) {
+// stepTo simulates until targetCommitted µ-ops have committed. The scan
+// scheduler steps every cycle; the event scheduler, when config.TimeSkip is
+// on, first jumps any provably quiescent span straight to the next
+// interesting cycle (see skipQuiescent) and then executes the cycle where
+// something can actually happen — per-cycle semantics inside Step are
+// untouched, so single-stepping tests and the scan path see the exact same
+// machine.
+func (c *Core) stepTo(targetCommitted int64) {
+	skip := c.sched != nil && c.cfg.TimeSkip
 	c.lastProgress = c.cycle
 	for c.committed < targetCommitted {
+		if skip {
+			c.skipQuiescent()
+		}
 		c.Step()
 		if c.committed != c.lastCommitted {
 			c.lastCommitted = c.committed

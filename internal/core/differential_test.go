@@ -13,13 +13,35 @@ import (
 // optimization: it must be cycle-exact against the scan implementation —
 // identical cycle counts, IPC, replay counts, and every other
 // architecturally meaningful counter — on every workload, replay scheme,
-// and preset. These tests run both implementations side by side and
-// compare entire stats.Run records (with the simulator-side scheduler
-// diagnostics masked, since only the event implementation counts wakeups).
+// and preset. The same holds for quiescent-cycle skipping (config.TimeSkip)
+// on top of it: jumping simulated time event-to-event must be unobservable.
+// These tests run the implementations side by side — scan, event with
+// per-cycle stepping, event with skipping — and compare entire stats.Run
+// records (with the simulator-side scheduler diagnostics masked, since only
+// the event implementation counts wakeups and skips).
 
 func runImpl(t *testing.T, cfg config.CoreConfig, s uop.Stream, seed uint64, impl config.SchedulerImpl, warm, measure int64) *stats.Run {
 	t.Helper()
 	cfg.Scheduler = impl
+	// The scan reference ignores TimeSkip; pin it off so the variant labels
+	// stay honest.
+	if impl == config.SchedScan {
+		cfg.TimeSkip = false
+	}
+	c, err := New(cfg, s, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetWorkloadName("diff")
+	return c.Run(warm, measure)
+}
+
+// runEvent runs the event-driven scheduler with quiescent-cycle skipping
+// explicitly on or off — the skip-on vs skip-off differential axis.
+func runEvent(t *testing.T, cfg config.CoreConfig, s uop.Stream, seed uint64, timeskip bool, warm, measure int64) *stats.Run {
+	t.Helper()
+	cfg.Scheduler = config.SchedEvent
+	cfg.TimeSkip = timeskip
 	c, err := New(cfg, s, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +62,8 @@ func compareRuns(t *testing.T, label string, scan, event *stats.Run) {
 // TestDifferentialWorkloadsSchemesSeeds is the headline equivalence matrix:
 // six Table 2 workloads × all three replay schemes × three wrong-path
 // seeds, on the paper's principal configuration (SpecSched_4, banked L1).
+// Every cell runs three ways — scan, event stepping every cycle, event
+// skipping quiescent cycles — and all three must agree bit for bit.
 func TestDifferentialWorkloadsSchemesSeeds(t *testing.T) {
 	workloads := []string{"swim", "hmmer", "xalancbmk", "libquantum", "mcf", "gzip"}
 	schemes := []config.ReplayScheme{
@@ -64,8 +88,10 @@ func TestDifferentialWorkloadsSchemesSeeds(t *testing.T) {
 				cfg.Replay = scheme
 				seed := p.Seed + ds
 				scan := runImpl(t, cfg, trace.New(p), seed, config.SchedScan, 2000, 8000)
-				event := runImpl(t, cfg, trace.New(p), seed, config.SchedEvent, 2000, 8000)
+				event := runEvent(t, cfg, trace.New(p), seed, false, 2000, 8000)
+				skip := runEvent(t, cfg, trace.New(p), seed, true, 2000, 8000)
 				compareRuns(t, wl+"/"+scheme.String(), scan, event)
+				compareRuns(t, wl+"/"+scheme.String()+"/timeskip", event, skip)
 			}
 		}
 	}
@@ -95,8 +121,10 @@ func TestDifferentialAcrossPresets(t *testing.T) {
 				t.Fatal(err)
 			}
 			scan := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedScan, 2000, 8000)
-			event := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedEvent, 2000, 8000)
+			event := runEvent(t, cfg, trace.New(p), p.Seed, false, 2000, 8000)
+			skip := runEvent(t, cfg, trace.New(p), p.Seed, true, 2000, 8000)
 			compareRuns(t, preset+"/"+wl, scan, event)
+			compareRuns(t, preset+"/"+wl+"/timeskip", event, skip)
 		}
 	}
 }
@@ -118,8 +146,10 @@ func TestDifferentialKernels(t *testing.T) {
 				t.Fatal(err)
 			}
 			scan := runImpl(t, cfg, mk(), 11, config.SchedScan, 1000, 8000)
-			event := runImpl(t, cfg, mk(), 11, config.SchedEvent, 1000, 8000)
+			event := runEvent(t, cfg, mk(), 11, false, 1000, 8000)
+			skip := runEvent(t, cfg, mk(), 11, true, 1000, 8000)
 			compareRuns(t, preset+"/"+name, scan, event)
+			compareRuns(t, preset+"/"+name+"/timeskip", event, skip)
 		}
 	}
 }
@@ -140,7 +170,51 @@ func TestDifferentialWideWindow(t *testing.T) {
 			t.Fatal(err)
 		}
 		scan := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedScan, 2000, 8000)
-		event := runImpl(t, cfg, trace.New(p), p.Seed, config.SchedEvent, 2000, 8000)
+		event := runEvent(t, cfg, trace.New(p), p.Seed, false, 2000, 8000)
+		skip := runEvent(t, cfg, trace.New(p), p.Seed, true, 2000, 8000)
 		compareRuns(t, "IQ256/"+wl, scan, event)
+		compareRuns(t, "IQ256/"+wl+"/timeskip", event, skip)
+	}
+}
+
+// TestDifferentialTimeSkipEngages pins the optimization itself, not just
+// its safety: on memory-bound workloads — the figures this PR targets — a
+// large share of simulated cycles must actually be skipped, and the skip
+// must be exactly invisible in the masked statistics. A silent "never
+// skips" regression would pass every equivalence test while giving up the
+// speedup.
+func TestDifferentialTimeSkipEngages(t *testing.T) {
+	for _, tc := range []struct {
+		wl, preset string
+		minSkipPct float64
+	}{
+		{"libquantum", "SpecSched_4", 50}, // L1-miss replay stalls
+		{"mcf", "SpecSched_4", 50},        // DRAM pointer chasing
+		{"libquantum", "Baseline_0", 50},  // conservative (NeverHit) wakeups
+		{"mcf", "SpecSched_4_Crit", 50},   // filter+criticality gating
+	} {
+		p, err := trace.ByName(tc.wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Preset(tc.preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := runEvent(t, cfg, trace.New(p), p.Seed, false, 2000, 20000)
+		skip := runEvent(t, cfg, trace.New(p), p.Seed, true, 2000, 20000)
+		compareRuns(t, tc.preset+"/"+tc.wl, step, skip)
+		if step.SkippedCycles != 0 || step.SkipSpans != 0 {
+			t.Errorf("%s/%s: skip-off run reported skips: %+v", tc.preset, tc.wl, step)
+		}
+		pct := 100 * float64(skip.SkippedCycles) / float64(skip.Cycles)
+		if pct < tc.minSkipPct {
+			t.Errorf("%s/%s: only %.1f%% of %d cycles skipped (want >= %.0f%%, %d spans)",
+				tc.preset, tc.wl, pct, skip.Cycles, tc.minSkipPct, skip.SkipSpans)
+		}
+		if skip.SkipSpans == 0 || skip.SkippedCycles < skip.SkipSpans {
+			t.Errorf("%s/%s: inconsistent skip counters: %d cycles in %d spans",
+				tc.preset, tc.wl, skip.SkippedCycles, skip.SkipSpans)
+		}
 	}
 }

@@ -14,7 +14,7 @@ func (c *Core) fetch() {
 	if c.cycle < c.fetchResume {
 		return
 	}
-	capacity := c.cfg.FrontendDepth*c.cfg.FetchWidth + c.cfg.FetchWidth
+	capacity := c.frontCap()
 	budget := c.cfg.FetchWidth
 	for budget > 0 && len(c.frontQ) < capacity {
 		e := c.newInst()
@@ -118,6 +118,25 @@ func (c *Core) predictBranch(e *inst) {
 	}
 }
 
+// frontCap is the front-end delay queue's capacity: FrontendDepth fetch
+// groups in flight plus the group being fetched. Shared by fetch, the
+// buffer pre-sizing in New, and the quiescent-cycle skipper's fetch-blocked
+// test, which must all agree.
+func (c *Core) frontCap() int {
+	return c.cfg.FrontendDepth*c.cfg.FetchWidth + c.cfg.FetchWidth
+}
+
+// dispatchBlocked reports whether a structural hazard (ROB/IQ/LQ/SQ/PRF
+// full) prevents dispatching e this cycle. Shared by dispatch and the
+// quiescent-cycle skipper, which relies on exactly these hazards being
+// relieved only by commit/issue/execute.
+func (c *Core) dispatchBlocked(e *inst) bool {
+	return len(c.rob) >= c.cfg.ROBEntries || c.iqCount >= c.cfg.IQEntries ||
+		(e.isLoad() && len(c.lq) >= c.cfg.LQEntries) ||
+		(e.isStore() && len(c.sq) >= c.cfg.SQEntries) ||
+		(e.u.HasDest() && !c.rmap.CanRename(e.u.Dest))
+}
+
 // dispatch renames and inserts into the window up to RenameWidth µ-ops
 // that have traversed the front end, stopping at the first structural
 // hazard (ROB/IQ/LQ/SQ/PRF full).
@@ -128,16 +147,7 @@ func (c *Core) dispatch() {
 		if e.readyAt > c.cycle {
 			return
 		}
-		if len(c.rob) >= c.cfg.ROBEntries || c.iqCount >= c.cfg.IQEntries {
-			return
-		}
-		if e.isLoad() && len(c.lq) >= c.cfg.LQEntries {
-			return
-		}
-		if e.isStore() && len(c.sq) >= c.cfg.SQEntries {
-			return
-		}
-		if e.u.HasDest() && !c.rmap.CanRename(e.u.Dest) {
+		if c.dispatchBlocked(e) {
 			return
 		}
 		c.frontQ = c.frontQ[1:]

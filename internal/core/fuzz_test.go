@@ -84,13 +84,15 @@ func randomConfig(seed uint64) config.CoreConfig {
 	if r.Bool(0.2) {
 		cfg.PrefetchEnable = false
 	}
-	// Exercise both wakeup/select implementations; the differential fuzz
-	// below additionally pins them against each other.
+	// Exercise both wakeup/select implementations and both time-advance
+	// modes; the differential fuzz below additionally pins them against
+	// each other.
 	if r.Bool(0.5) {
 		cfg.Scheduler = config.SchedScan
 	} else {
 		cfg.Scheduler = config.SchedEvent
 	}
+	cfg.TimeSkip = r.Bool(0.5)
 	cfg.Name = fmt.Sprintf("fuzz-cfg-%d", seed)
 	return cfg
 }
@@ -145,14 +147,26 @@ func TestFuzzCoreInvariants(t *testing.T) {
 }
 
 // TestFuzzDifferentialScanVsEvent drives random configurations against
-// random workloads under BOTH scheduler implementations and requires
-// bit-identical statistics — the strongest evidence that the event-driven
-// rewrite models exactly the same machine across the whole configuration
-// space (window sizes, widths, replay schemes, interleavings).
+// random workloads under three variants — the scan implementation, the
+// event-driven implementation stepping every cycle, and the event-driven
+// implementation with quiescent-cycle skipping — and requires bit-identical
+// statistics from all of them: the strongest evidence that both the
+// event-driven rewrite and time skipping model exactly the same machine
+// across the whole configuration space (window sizes, widths, replay
+// schemes, interleavings).
 func TestFuzzDifferentialScanVsEvent(t *testing.T) {
 	n := 20
 	if testing.Short() {
 		n = 5
+	}
+	variants := []struct {
+		label    string
+		impl     config.SchedulerImpl
+		timeskip bool
+	}{
+		{"scan", config.SchedScan, false},
+		{"event", config.SchedEvent, false},
+		{"event+skip", config.SchedEvent, true},
 	}
 	for i := 0; i < n; i++ {
 		seed := uint64(i*104729 + 7)
@@ -161,18 +175,22 @@ func TestFuzzDifferentialScanVsEvent(t *testing.T) {
 		if prof.Validate() != nil {
 			continue
 		}
-		runs := [2]*stats.Run{}
-		for k, impl := range []config.SchedulerImpl{config.SchedScan, config.SchedEvent} {
+		runs := make([]*stats.Run, len(variants))
+		for k, v := range variants {
 			cfg := cfg
-			cfg.Scheduler = impl
+			cfg.Scheduler = v.impl
+			cfg.TimeSkip = v.timeskip
 			c := MustNew(cfg, trace.New(prof), seed)
 			c.SetWorkloadName(prof.Name)
 			runs[k] = c.Run(1000, 6000)
 		}
-		a, b := runs[0].MaskSchedulerCounters(), runs[1].MaskSchedulerCounters()
-		if a != b {
-			t.Errorf("seed %d (cfg %s, profile %s): schedulers diverged\n scan: %+v\nevent: %+v",
-				seed, cfg.Name, prof.Name, a, b)
+		ref := runs[0].MaskSchedulerCounters()
+		for k := 1; k < len(variants); k++ {
+			if got := runs[k].MaskSchedulerCounters(); ref != got {
+				t.Errorf("seed %d (cfg %s, profile %s): %s diverged from %s\n %s: %+v\n %s: %+v",
+					seed, cfg.Name, prof.Name, variants[k].label, variants[0].label,
+					variants[0].label, ref, variants[k].label, got)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"specsched/internal/config"
 	"specsched/internal/uop"
@@ -58,6 +59,10 @@ type wheel[T any] struct {
 	mask  int64
 	slots [][]wheelItem[T]
 	bits  []uint64
+	// n counts scheduled-but-uncollected entries across all slots, so the
+	// quiescent-cycle skipper's nextBusy query is O(1) on an empty wheel
+	// (the execute and replay wheels are empty through a deep stall).
+	n int
 }
 
 // newWheel builds a wheel of at least minSize slots, each pre-sized to
@@ -89,6 +94,36 @@ func (w *wheel[T]) busy(now int64) bool {
 	return w.bits[i>>6]&(1<<uint(i&63)) != 0
 }
 
+// nextBusy returns the earliest cycle in [now, now+horizon] at which an
+// entry is due, or now+horizon when nothing is scheduled in that range —
+// the wheel's contribution to the quiescent-cycle skipper's "next
+// interesting cycle". The occupancy bitmap alone over-approximates (a slot
+// can hold only future-revolution entries), so each busy slot's entries are
+// checked against their exact due cycle. Entries due before now cannot
+// exist: every phase collects its wheel's due slot each executed cycle, and
+// the skipper never jumps past the cycle this query returns.
+func (w *wheel[T]) nextBusy(now, horizon int64) int64 {
+	best := now + horizon
+	if w.n == 0 {
+		return best
+	}
+	for wi, word := range w.bits {
+		for word != 0 {
+			slot := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for _, it := range w.slots[slot] {
+				if it.at >= now && it.at < best {
+					best = it.at
+					if best == now {
+						return now
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
 // schedule inserts v to fire at cycle at (strictly in the future of the
 // caller's current cycle; same-cycle work lands in the slot its phase is
 // about to collect).
@@ -97,6 +132,7 @@ func (w *wheel[T]) schedule(at int64, v T) {
 	w.bits[i>>6] |= 1 << uint(i&63)
 	s := &w.slots[i]
 	*s = append(*s, wheelItem[T]{at: at, v: v})
+	w.n++
 }
 
 // collect appends every entry due at cycle now to dst, keeping future-
@@ -115,6 +151,7 @@ func (w *wheel[T]) collect(now int64, dst []T) []T {
 			keep = append(keep, it)
 		}
 	}
+	w.n -= len(s) - len(keep)
 	w.slots[i] = keep
 	if len(keep) == 0 {
 		w.bits[i>>6] &^= 1 << uint(i&63)
@@ -584,6 +621,7 @@ func (s *eventSched) execute() {
 			execs = append(execs, it.v.e)
 		}
 	}
+	s.execWheel.n -= len(*slot) - len(keep)
 	*slot = keep
 	if len(keep) == 0 {
 		i := now & s.execWheel.mask

@@ -65,6 +65,113 @@ func TestTimingWheelRollover(t *testing.T) {
 	}
 }
 
+// TestWheelNextBusy covers the occupancy-bitmap query feeding the
+// quiescent-cycle skipper: empty wheel, horizon capping, due-now entries,
+// and multi-word bitmap slots.
+func TestWheelNextBusy(t *testing.T) {
+	w := newWheel[int](128, 2)
+	size := w.mask + 1
+	if size != 128 {
+		t.Fatalf("wheel size = %d, want 128", size)
+	}
+	if got := w.nextBusy(10, 1000); got != 1010 {
+		t.Fatalf("empty wheel nextBusy = %d, want horizon 1010", got)
+	}
+	// Slot 100 lives in the second bitmap word.
+	w.schedule(100, 1)
+	if got := w.nextBusy(10, 1000); got != 100 {
+		t.Fatalf("nextBusy = %d, want 100", got)
+	}
+	if got := w.nextBusy(10, 50); got != 60 {
+		t.Fatalf("nextBusy beyond horizon = %d, want cap 60", got)
+	}
+	if got := w.nextBusy(100, 1000); got != 100 {
+		t.Fatalf("due-now nextBusy = %d, want 100", got)
+	}
+	w.schedule(40, 2)
+	if got := w.nextBusy(10, 1000); got != 40 {
+		t.Fatalf("nextBusy = %d, want earliest 40", got)
+	}
+	if got := w.collect(40, nil); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("collect(40) = %v", got)
+	}
+	if got := w.nextBusy(41, 1000); got != 100 {
+		t.Fatalf("nextBusy after collect = %d, want 100", got)
+	}
+}
+
+// TestWheelNextBusyExactRevolution pins the aliasing cases: an entry
+// scheduled exactly size cycles ahead shares its slot (and occupancy bit)
+// with "now", and nextBusy must neither report it as due now nor lose it —
+// across a full revolution of queries.
+func TestWheelNextBusyExactRevolution(t *testing.T) {
+	w := newWheel[int](16, 2)
+	size := w.mask + 1 // 16
+	now := int64(5)
+	w.schedule(now+size, 42) // same slot as now, one revolution out
+	if !w.busy(now) {
+		t.Fatal("aliased slot must report busy (bitmap is an over-approximation)")
+	}
+	if got := w.nextBusy(now, 10*size); got != now+size {
+		t.Fatalf("nextBusy = %d, want %d (not the aliased slot's current cycle)", got, now+size)
+	}
+	// Nothing fires until the entry's own cycle, even though its slot's
+	// bit stays set the whole revolution.
+	for c := now; c < now+size; c++ {
+		if fired := w.collect(c, nil); len(fired) != 0 {
+			t.Fatalf("cycle %d fired %v, want nothing before the revolution completes", c, fired)
+		}
+		if got := w.nextBusy(c, 10*size); got != now+size {
+			t.Fatalf("cycle %d: nextBusy = %d, want %d", c, got, now+size)
+		}
+	}
+	if fired := w.collect(now+size, nil); len(fired) != 1 || fired[0] != 42 {
+		t.Fatalf("collect(%d) = %v, want [42]", now+size, fired)
+	}
+	if got := w.nextBusy(now+size, 10*size); got != now+11*size {
+		t.Fatalf("drained wheel nextBusy = %d, want horizon", got)
+	}
+	if w.n != 0 {
+		t.Fatalf("drained wheel still counts %d entries", w.n)
+	}
+}
+
+// TestWheelBitmapWraparound schedules entries whose slot indices wrap both
+// the ring and the occupancy bitmap's word boundary (slots 63/64 and the
+// last slot), and checks the bits clear exactly when slots drain.
+func TestWheelBitmapWraparound(t *testing.T) {
+	w := newWheel[int](128, 1)
+	size := w.mask + 1 // 128
+	at := []int64{63, 64, size - 1, size, 2*size - 1}
+	for i, a := range at {
+		w.schedule(a, i)
+	}
+	if w.n != len(at) {
+		t.Fatalf("entry count %d, want %d", w.n, len(at))
+	}
+	// Cycle size aliases slot 0; cycle 2*size-1 aliases slot size-1.
+	var got []int
+	for now := int64(0); now < 2*size; now++ {
+		got = append(got, w.collect(now, nil)...)
+	}
+	if len(got) != len(at) {
+		t.Fatalf("collected %v, want all %d entries", got, len(at))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("collected %v out of schedule order", got)
+		}
+	}
+	for i := range w.bits {
+		if w.bits[i] != 0 {
+			t.Fatalf("bitmap word %d still set after draining: %b", i, w.bits[i])
+		}
+	}
+	if w.n != 0 {
+		t.Fatalf("drained wheel still counts %d entries", w.n)
+	}
+}
+
 // TestReadyListOrderAndPrepend drives the three prepare paths (back
 // extend, front prepend, interleaved merge) and checks the live window
 // stays age-sorted.

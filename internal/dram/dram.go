@@ -132,6 +132,13 @@ func (d *DRAM) Access(addr uint64, now int64, write bool) int64 {
 	return ready
 }
 
+// NextCompletion implements the cache package's CompletionSource. The DRAM
+// model is fully demand-driven — every access computes its completion time
+// at request submission and nothing fires autonomously afterwards (bank and
+// bus occupancy only delay future requests, which carry their own
+// completions) — so there is never a pending completion to report.
+func (d *DRAM) NextCompletion(now int64) int64 { return -1 }
+
 // MinReadLatency returns the calibrated best-case read latency (row hit,
 // idle bank and bus).
 func (d *DRAM) MinReadLatency() int64 {

@@ -43,6 +43,10 @@ type Options struct {
 	// implementation is kept for differential testing and perf-trajectory
 	// comparisons). Results are bit-identical either way.
 	Scheduler config.SchedulerImpl
+	// DisableTimeSkip turns quiescent-cycle skipping (config.TimeSkip) off
+	// for every run — the CLI's -timeskip=false. Like Scheduler, it only
+	// changes simulator speed; results are bit-identical either way.
+	DisableTimeSkip bool
 	// CellTimeout bounds one cell's wall clock (0 = unbounded); a timed
 	// out cell fails alone, the sweep continues.
 	CellTimeout time.Duration
@@ -141,6 +145,9 @@ func (r *Runner) runGrid(cfgs []config.CoreConfig) (map[string]*stats.Run, error
 	cells := make([]sim.Cell, 0, len(cfgs)*len(r.opts.Workloads)*r.opts.Seeds)
 	for _, cfg := range cfgs {
 		cfg.Scheduler = r.opts.Scheduler
+		if r.opts.DisableTimeSkip {
+			cfg.TimeSkip = false
+		}
 		for _, wl := range r.opts.Workloads {
 			for s := 0; s < r.opts.Seeds; s++ {
 				cells = append(cells, sim.Cell{Config: cfg, Workload: wl, SeedIdx: s})

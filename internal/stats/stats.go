@@ -78,6 +78,16 @@ type Run struct {
 	// MaskSchedulerCounters).
 	SchedWakeups int64
 	SchedEvents  int64
+
+	// Quiescent-cycle skipping diagnostics (config.TimeSkip, event
+	// scheduler only): SkippedCycles is how many of Cycles were jumped
+	// over event-to-event without executing the pipeline loop, SkipSpans
+	// how many contiguous jumps that took. Cycles already includes the
+	// skipped cycles — skipping is unobservable in every architectural
+	// counter — so these too are simulator-side and masked by
+	// MaskSchedulerCounters.
+	SkippedCycles int64
+	SkipSpans     int64
 }
 
 // MaskSchedulerCounters returns a copy of r with the simulator-side
@@ -88,6 +98,8 @@ func (r *Run) MaskSchedulerCounters() Run {
 	cp := *r
 	cp.SchedWakeups = 0
 	cp.SchedEvents = 0
+	cp.SkippedCycles = 0
+	cp.SkipSpans = 0
 	return cp
 }
 

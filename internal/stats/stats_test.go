@@ -227,3 +227,23 @@ func TestAccumulatePoolsRatios(t *testing.T) {
 		t.Fatalf("pooled IPC %f, want %f", got, want)
 	}
 }
+
+// TestMaskSchedulerCounters pins which counters are simulator-side: the
+// differential suites compare masked records across scheduler
+// implementations and time-advance modes, so a counter that describes the
+// simulator (wakeups, fired events, skipped cycles) must zero out while
+// every architectural counter survives.
+func TestMaskSchedulerCounters(t *testing.T) {
+	r := Run{
+		Workload: "wl", Config: "cfg",
+		Cycles: 100, Committed: 50, Issued: 60,
+		SchedWakeups: 7, SchedEvents: 8, SkippedCycles: 40, SkipSpans: 3,
+	}
+	m := r.MaskSchedulerCounters()
+	if m.SchedWakeups != 0 || m.SchedEvents != 0 || m.SkippedCycles != 0 || m.SkipSpans != 0 {
+		t.Fatalf("simulator-side counters survived the mask: %+v", m)
+	}
+	if m.Cycles != 100 || m.Committed != 50 || m.Issued != 60 || m.Workload != "wl" {
+		t.Fatalf("architectural counters damaged by the mask: %+v", m)
+	}
+}
