@@ -1,0 +1,45 @@
+package specsched_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specsched/internal/apigen"
+)
+
+// publicDirs are the packages whose exported surface the golden locks.
+var publicDirs = []string{".", "presets", "results"}
+
+const goldenPath = "api/specsched.txt"
+
+// TestPublicAPIGolden regenerates the public API surface and compares it
+// to the committed golden. Any surface change must be accompanied by a
+// reviewed update of api/specsched.txt:
+//
+//	SPECSCHED_UPDATE_API=1 go test -run TestPublicAPIGolden .
+func TestPublicAPIGolden(t *testing.T) {
+	got, err := apigen.Surface(publicDirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("SPECSCHED_UPDATE_API") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing API golden (regenerate with SPECSCHED_UPDATE_API=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed; review the diff and regenerate %s with\n"+
+			"  SPECSCHED_UPDATE_API=1 go test -run TestPublicAPIGolden .\n\n--- committed ---\n%s\n--- current ---\n%s",
+			goldenPath, want, got)
+	}
+}

@@ -7,6 +7,7 @@
 package specsched_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,6 +22,9 @@ import (
 // bank-conflict-prone high-IPC codes, one high-miss/high-ILP, one
 // streaming-DRAM, one pointer chase, one branchy INT.
 var benchWorkloads = []string{"swim", "hmmer", "xalancbmk", "libquantum", "mcf", "gzip"}
+
+// bctx is the background context the benchmarks run under.
+var bctx = context.Background()
 
 func benchOpts() experiments.Options {
 	return experiments.Options{
@@ -51,7 +55,7 @@ func benchTable2(b *testing.B, impl config.SchedulerImpl) {
 		opts := benchOpts()
 		opts.Scheduler = impl
 		r := experiments.NewRunner(opts)
-		out, err := r.Table2()
+		out, err := r.Table2(bctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,10 +73,10 @@ func BenchmarkFig3(b *testing.B) {
 	var slowdown float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
-		if _, err := r.Fig3(); err != nil {
+		if _, err := r.Fig3(bctx); err != nil {
 			b.Fatal(err)
 		}
-		set, err := r.Collect("Baseline_0", "Baseline_6")
+		set, err := r.Collect(bctx, "Baseline_0", "Baseline_6")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,10 +91,10 @@ func BenchmarkFig4(b *testing.B) {
 	var rel float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
-		if _, err := r.Fig4(); err != nil {
+		if _, err := r.Fig4(bctx); err != nil {
 			b.Fatal(err)
 		}
-		set, err := r.Collect("Baseline_0", "SpecSched_4")
+		set, err := r.Collect(bctx, "Baseline_0", "SpecSched_4")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,10 +109,10 @@ func BenchmarkFig5(b *testing.B) {
 	var removed float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
-		if _, err := r.Fig5(); err != nil {
+		if _, err := r.Fig5(bctx); err != nil {
 			b.Fatal(err)
 		}
-		set, err := r.Collect("SpecSched_4", "SpecSched_4_Shift")
+		set, err := r.Collect(bctx, "SpecSched_4", "SpecSched_4_Shift")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,10 +128,10 @@ func BenchmarkFig7(b *testing.B) {
 	var removed float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
-		if _, err := r.Fig7(); err != nil {
+		if _, err := r.Fig7(bctx); err != nil {
 			b.Fatal(err)
 		}
-		set, err := r.Collect("SpecSched_4", "SpecSched_4_Filter")
+		set, err := r.Collect(bctx, "SpecSched_4", "SpecSched_4_Filter")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,10 +147,10 @@ func BenchmarkFig8(b *testing.B) {
 	var removed float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
-		if _, err := r.Fig8(); err != nil {
+		if _, err := r.Fig8(bctx); err != nil {
 			b.Fatal(err)
 		}
-		set, err := r.Collect("SpecSched_4", "SpecSched_4_Crit")
+		set, err := r.Collect(bctx, "SpecSched_4", "SpecSched_4_Crit")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +164,7 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkDelaySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts())
-		if _, err := r.DelaySweep(); err != nil {
+		if _, err := r.DelaySweep(bctx); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,10 @@
 //     implementations, interleaved and best-of-N to shave scheduler-
 //     independent machine noise, with the resulting speedup ratios.
 //
+// The whole suite drives the public specsched API (Simulator for the
+// scheduler comparisons, Sweep.Report for the figure runs), so it doubles
+// as a continuous end-to-end exercise of the façade.
+//
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_1.json] [-reps 3] [-warmup N] [-measure N]
@@ -27,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,10 +40,8 @@ import (
 	"runtime"
 	"time"
 
-	"specsched/internal/config"
-	"specsched/internal/core"
-	"specsched/internal/experiments"
-	"specsched/internal/trace"
+	"specsched"
+	"specsched/presets"
 )
 
 type figureResult struct {
@@ -79,23 +82,30 @@ type report struct {
 
 var benchWorkloads = []string{"swim", "hmmer", "xalancbmk", "libquantum", "mcf", "gzip"}
 
+var ctx = context.Background()
+
 func mallocs() uint64 {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return ms.Mallocs
 }
 
-// runFigure executes one named experiment on a fresh runner and reports
+// runFigure executes one named experiment on a fresh sweep and reports
 // wall time, allocations, and throughput.
-func runFigure(name string, opts experiments.Options) (figureResult, error) {
-	r := experiments.NewRunner(opts)
+func runFigure(name string, warmup, measure int64, jobs int) (figureResult, error) {
+	sweep := specsched.NewSweep(
+		specsched.SweepWarmup(warmup),
+		specsched.SweepMeasure(measure),
+		specsched.SweepWorkloads(benchWorkloads...),
+		specsched.SweepJobs(jobs),
+	)
 	a0 := mallocs()
 	start := time.Now()
-	if _, err := r.Run(name); err != nil {
+	if _, err := sweep.Report(ctx, name); err != nil {
 		return figureResult{}, err
 	}
 	wall := time.Since(start)
-	uops := r.SimulatedUOps()
+	uops := sweep.SimulatedUOps()
 	return figureResult{
 		Name:       name,
 		NsOp:       wall.Nanoseconds(),
@@ -105,35 +115,40 @@ func runFigure(name string, opts experiments.Options) (figureResult, error) {
 	}, nil
 }
 
+// timedRun builds a fresh core for (workload, impl) and returns the
+// measurement window's wall-clock seconds (construction and warmup
+// excluded — results.Run.Elapsed times the measured window only).
+func timedRun(workload string, impl specsched.Scheduler, warmup, measure int64) (float64, error) {
+	r, err := specsched.NewSimulator(
+		specsched.WithPreset(presets.Baseline(0)),
+		specsched.WithWorkload(workload),
+		specsched.WithWarmup(warmup),
+		specsched.WithMeasure(measure),
+		specsched.WithScheduler(impl),
+	).Run(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return r.Elapsed.Seconds(), nil
+}
+
 // table2Comparison measures the Table 2 suite (Baseline_0 over the bench
 // workloads) under both scheduler implementations. The two implementations
 // run back-to-back per workload and the best of reps is kept per
 // (workload, impl) pair — the tightest pairing against slow drift in the
 // host machine, which a whole-suite-at-a-time comparison soaks up as
 // ratio noise.
-func table2Comparison(opts experiments.Options, reps int) (comparison, error) {
+func table2Comparison(warmup, measure int64, reps int) (comparison, error) {
 	cmp := comparison{Name: "table2"}
 	var totEv, totSc float64 // seconds
-	for _, wl := range opts.Workloads {
-		p, err := trace.ByName(wl)
-		if err != nil {
-			return cmp, err
-		}
-		best := map[config.SchedulerImpl]float64{}
+	for _, wl := range benchWorkloads {
+		best := map[specsched.Scheduler]float64{}
 		for i := 0; i < reps; i++ {
-			for _, impl := range []config.SchedulerImpl{config.SchedScan, config.SchedEvent} {
-				cfg, err := config.Preset("Baseline_0")
+			for _, impl := range []specsched.Scheduler{specsched.SchedulerScan, specsched.SchedulerEvent} {
+				el, err := timedRun(wl, impl, warmup, measure)
 				if err != nil {
 					return cmp, err
 				}
-				cfg.Scheduler = impl
-				c, err := core.New(cfg, trace.New(p), p.Seed)
-				if err != nil {
-					return cmp, err
-				}
-				start := time.Now()
-				c.Run(opts.Warmup, opts.Measure)
-				el := time.Since(start).Seconds()
 				if b, ok := best[impl]; !ok || el < b {
 					best[impl] = el
 				}
@@ -141,14 +156,14 @@ func table2Comparison(opts experiments.Options, reps int) (comparison, error) {
 		}
 		cmp.PerWorkload = append(cmp.PerWorkload, wlComparison{
 			Workload: wl,
-			EventMs:  1e3 * best[config.SchedEvent],
-			ScanMs:   1e3 * best[config.SchedScan],
-			Speedup:  best[config.SchedScan] / best[config.SchedEvent],
+			EventMs:  1e3 * best[specsched.SchedulerEvent],
+			ScanMs:   1e3 * best[specsched.SchedulerScan],
+			Speedup:  best[specsched.SchedulerScan] / best[specsched.SchedulerEvent],
 		})
-		totEv += best[config.SchedEvent]
-		totSc += best[config.SchedScan]
+		totEv += best[specsched.SchedulerEvent]
+		totSc += best[specsched.SchedulerScan]
 	}
-	uops := float64(int64(len(opts.Workloads)) * (opts.Warmup + opts.Measure))
+	uops := float64(int64(len(benchWorkloads)) * measure)
 	cmp.EventMinsts = uops / totEv / 1e6
 	cmp.ScanMinsts = uops / totSc / 1e6
 	cmp.Speedup = totSc / totEv
@@ -159,25 +174,18 @@ func table2Comparison(opts experiments.Options, reps int) (comparison, error) {
 // window (256-entry IQ) point: a conservative wide machine on a
 // streaming-DRAM workload, where ~100 sleeping IQ entries punish the
 // per-cycle scan.
-func iq256Throughput(impl config.SchedulerImpl, measure int64) (float64, error) {
-	p, err := trace.ByName("libquantum")
+func iq256Throughput(impl specsched.Scheduler, measure int64) (float64, error) {
+	r, err := specsched.NewSimulator(
+		specsched.WithPreset(presets.WideWindow(presets.Baseline(0))),
+		specsched.WithWorkload("libquantum"),
+		specsched.WithWarmup(20000),
+		specsched.WithMeasure(measure),
+		specsched.WithScheduler(impl),
+	).Run(ctx)
 	if err != nil {
 		return 0, err
 	}
-	cfg, err := config.Preset("Baseline_0")
-	if err != nil {
-		return 0, err
-	}
-	cfg = config.WideWindow(cfg)
-	cfg.Scheduler = impl
-	c, err := core.New(cfg, trace.New(p), p.Seed)
-	if err != nil {
-		return 0, err
-	}
-	c.Run(20000, 1)
-	start := time.Now()
-	r := c.Run(0, measure)
-	return float64(r.Committed) / time.Since(start).Seconds() / 1e6, nil
+	return float64(r.Committed) / r.Elapsed.Seconds() / 1e6, nil
 }
 
 // latestBench returns the committed BENCH_<n>.json in dir with the highest
@@ -285,12 +293,6 @@ func main() {
 	// would read as a phantom regression. The comparison itself is cheap —
 	// the figure sweep is what a CI run cannot afford.
 
-	opts := experiments.Options{
-		Warmup:    *warmup,
-		Measure:   *measure,
-		Workloads: benchWorkloads,
-		Parallel:  *jobs,
-	}
 	if *createdFor == "" {
 		*createdFor = "perf trajectory point"
 		if *smoke {
@@ -307,11 +309,12 @@ func main() {
 		Measure:    *measure,
 	}
 
-	// The figure sweep exercises the sim pool end to end (it is skipped in
-	// smoke mode: the gate only needs the scheduler comparison below).
+	// The figure sweep exercises the sweep façade end to end (it is
+	// skipped in smoke mode: the gate only needs the scheduler comparison
+	// below).
 	if !*smoke {
 		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig7", "fig8", "delays"} {
-			fr, err := runFigure(name, opts)
+			fr, err := runFigure(name, *warmup, *measure, *jobs)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
 				os.Exit(1)
@@ -323,7 +326,7 @@ func main() {
 	}
 
 	// Scheduler comparison: per-workload back-to-back pairs, best of reps.
-	t2, err := table2Comparison(opts, *reps)
+	t2, err := table2Comparison(*warmup, *measure, *reps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: table2 comparison: %v\n", err)
 		os.Exit(1)
@@ -331,9 +334,9 @@ func main() {
 	var iqev, iqsc float64
 	for i := 0; i < *reps; i++ {
 		for _, m := range []struct {
-			impl config.SchedulerImpl
+			impl specsched.Scheduler
 			dst  *float64
-		}{{config.SchedScan, &iqsc}, {config.SchedEvent, &iqev}} {
+		}{{specsched.SchedulerScan, &iqsc}, {specsched.SchedulerEvent, &iqev}} {
 			v, err := iq256Throughput(m.impl, 5**measure)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: iq256 %s: %v\n", m.impl, err)

@@ -1,30 +1,34 @@
 // Command calibrate is the workload calibration harness: it runs every
-// workload on Baseline_0 and prints measured vs. paper IPC.
+// workload on one configuration and prints measured vs. paper IPC.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 
-	"specsched/internal/config"
-	"specsched/internal/core"
-	"specsched/internal/trace"
+	"specsched"
 )
 
 func main() {
 	cfgName := flag.String("config", "Baseline_0", "preset")
 	n := flag.Int64("n", 60000, "measured µ-ops")
 	flag.Parse()
-	cfg, err := config.Preset(*cfgName)
-	if err != nil {
-		panic(err)
-	}
-	for _, p := range trace.Profiles() {
-		g := trace.New(p)
-		c := core.MustNew(cfg, g, p.Seed)
-		c.SetWorkloadName(p.Name)
-		r := c.Run(*n/5, *n)
+	ctx := context.Background()
+	for _, w := range specsched.Workloads() {
+		r, err := specsched.NewSimulator(
+			specsched.WithPreset(*cfgName),
+			specsched.WithWorkload(w.Name),
+			specsched.WithWarmup(*n/5),
+			specsched.WithMeasure(*n),
+		).Run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-11s ipc=%.3f paper=%.3f mpki=%4.1f l1miss=%.3f conf=%5d rpldM=%6d rpldB=%6d late=%d\n",
-			p.Name, r.IPC(), p.PaperIPC, r.MPKI(), r.L1MissRate(), r.BankConflicts, r.ReplayedMiss, r.ReplayedBank, r.LateOperands)
+			w.Name, r.IPC(), w.PaperIPC, r.MPKI(), r.L1MissRate(), r.BankConflicts,
+			r.ReplayedMiss, r.ReplayedBank, r.LateOperands)
 	}
 }

@@ -1,6 +1,7 @@
 // Command experiments regenerates the paper's tables and figures as text
-// reports, running the (configuration × workload × seed) grid on the
-// internal/sim work-stealing pool.
+// reports, running the (configuration × workload × seed) grid through the
+// public specsched Sweep façade (work-stealing pool, resumable
+// checkpoints, context cancellation).
 //
 // Usage:
 //
@@ -28,22 +29,30 @@
 //	-json     write the reports plus every per-(config, workload) run as
 //	          machine-readable JSON
 //	-progress stream per-cell completion lines to stderr
+//
+// SIGINT/SIGTERM cancel the sweep's context: in-flight cells stop within
+// milliseconds, completed cells are flushed to the -resume checkpoint (if
+// one is configured), and the command exits non-zero after printing how to
+// resume.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"regexp"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
-	"specsched/internal/experiments"
-	"specsched/internal/sim"
-	"specsched/internal/stats"
-	"specsched/internal/trace"
+	"specsched"
+	"specsched/presets"
+	"specsched/results"
 )
 
 // jsonReport is the -json output schema.
@@ -52,7 +61,7 @@ type jsonReport struct {
 	GoVersion string           `json:"go_version"`
 	Options   jsonOptions      `json:"options"`
 	Reports   []jsonExperiment `json:"reports"`
-	Runs      []*stats.Run     `json:"runs"`
+	Runs      []results.Run    `json:"runs"`
 	Elapsed   float64          `json:"elapsed_sec"`
 	Simulated int64            `json:"simulated_uops"`
 }
@@ -76,8 +85,8 @@ func fatalf(format string, args ...interface{}) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run, comma-separated ("+strings.Join(experiments.Names(), "|")+"|all)")
-	list := flag.Bool("list", false, "print the known experiment names and exit")
+	exp := flag.String("exp", "all", "experiments to run, comma-separated ("+strings.Join(specsched.Reports(), "|")+"|all)")
+	list := flag.Bool("list", false, "print the known experiment names, presets, and workloads, then exit")
 	measure := flag.Int64("measure", 60000, "measured µ-ops per cell")
 	warmup := flag.Int64("warmup", 10000, "warmup µ-ops per cell")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
@@ -92,11 +101,20 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		fmt.Println("experiments:")
+		for _, n := range specsched.Reports() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("configuration presets:")
+		for _, n := range presets.Names() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("workloads:")
+		fmt.Println("  " + strings.Join(specsched.WorkloadNames(), " "))
 		return
 	}
 
-	wls := trace.ProfileNames()
+	wls := specsched.WorkloadNames()
 	if *workloads != "" {
 		wls = strings.Split(*workloads, ",")
 	}
@@ -117,31 +135,37 @@ func main() {
 		wls = kept
 	}
 
-	opts := experiments.Options{
-		Warmup:          *warmup,
-		Measure:         *measure,
-		Workloads:       wls,
-		Parallel:        *jobs,
-		Seeds:           *seeds,
-		CellTimeout:     *timeout,
-		Checkpoint:      *resume,
-		DisableTimeSkip: !*timeskip,
+	opts := []specsched.SweepOption{
+		specsched.SweepWarmup(*warmup),
+		specsched.SweepMeasure(*measure),
+		specsched.SweepWorkloads(wls...),
+		specsched.SweepJobs(*jobs),
+		specsched.SweepSeeds(*seeds),
+		specsched.SweepCellTimeout(*timeout),
+		specsched.SweepCheckpoint(*resume),
+		specsched.SweepTimeSkip(*timeskip),
 	}
 	if *progress {
-		opts.OnProgress = func(p sim.Progress) {
-			state := fmt.Sprintf("%.2fs", p.Elapsed)
-			if p.CellCached {
+		opts = append(opts, specsched.SweepProgress(func(p specsched.Progress) {
+			state := fmt.Sprintf("%.2fs", p.Elapsed.Seconds())
+			if p.IsCache {
 				state = "checkpoint"
 			}
-			if p.CellErr != nil {
+			if p.Err != nil {
 				state = "FAILED"
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %s\n", p.Done, p.Total, p.Cell, state)
-		}
+		}))
 	}
-	r := experiments.NewRunner(opts)
+	sweep := specsched.NewSweep(opts...)
 
-	names := experiments.Names()
+	// SIGINT/SIGTERM cancel the sweep context. The simulator cores poll it,
+	// so in-flight cells abort within milliseconds and the checkpoint is
+	// flushed with everything that completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	names := specsched.Reports()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
@@ -157,10 +181,16 @@ func main() {
 	// A failed cell must not discard the rest of the sweep: report the
 	// error, keep running the remaining experiments (their healthy cells
 	// are cached/checkpointed already), still write -json, exit non-zero.
-	failed := false
+	// An interrupt, by contrast, stops everything — but still writes -json
+	// and prints the resume hint.
+	failed, interrupted := false, false
 	for _, name := range names {
-		out, err := r.Run(name)
+		out, err := sweep.Report(ctx, name)
 		if err != nil {
+			if errors.Is(err, specsched.ErrCanceled) {
+				interrupted = true
+				break
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			failed = true
 			continue
@@ -169,20 +199,22 @@ func main() {
 		rep.Reports = append(rep.Reports, jsonExperiment{Name: name, Report: out})
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("(completed in %.1fs, %d µ-ops simulated, %d workloads, %d seeds, jobs=%d)\n",
-		elapsed.Seconds(), r.SimulatedUOps(), len(wls), *seeds, effectiveJobs(*jobs))
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted — completed cells are preserved")
+		if *resume != "" {
+			fmt.Fprintf(os.Stderr, "experiments: checkpoint flushed; resumable via -resume %s (same options)\n", *resume)
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: hint: run with -resume FILE to make interrupted sweeps resumable")
+		}
+	} else {
+		fmt.Printf("(completed in %.1fs, %d µ-ops simulated, %d workloads, %d seeds, jobs=%d)\n",
+			elapsed.Seconds(), sweep.SimulatedUOps(), len(wls), *seeds, effectiveJobs(*jobs))
+	}
 
 	if *jsonOut != "" {
-		set := r.Snapshot()
-		for _, cn := range set.Configs() {
-			for _, wl := range set.Workloads() {
-				if run := set.Get(cn, wl); run != nil {
-					rep.Runs = append(rep.Runs, run)
-				}
-			}
-		}
+		rep.Runs = sweep.Snapshot()
 		rep.Elapsed = elapsed.Seconds()
-		rep.Simulated = r.SimulatedUOps()
+		rep.Simulated = sweep.SimulatedUOps()
 		data, err := json.MarshalIndent(rep, "", " ")
 		if err != nil {
 			fatalf("%v", err)
@@ -191,6 +223,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Println("wrote", *jsonOut)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 	if failed {
 		os.Exit(1)

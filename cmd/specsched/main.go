@@ -1,22 +1,23 @@
 // Command specsched runs a single workload on a single configuration and
 // prints the detailed statistics — the entry point for exploring the
-// simulator interactively.
+// simulator interactively. It is built entirely on the public specsched
+// API; see examples/quickstart for the embeddable equivalent.
 //
 // Usage:
 //
 //	specsched [-config SpecSched_4_Crit] [-workload xalancbmk]
-//	          [-measure N] [-warmup N] [-list]
+//	          [-measure N] [-warmup N] [-scheduler event|scan] [-list]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"specsched/internal/config"
-	"specsched/internal/core"
-	"specsched/internal/trace"
+	"specsched"
+	"specsched/presets"
 )
 
 func main() {
@@ -30,44 +31,37 @@ func main() {
 
 	if *list {
 		fmt.Println("configurations:")
-		for _, n := range config.PresetNames() {
+		for _, n := range presets.Names() {
 			fmt.Println("  " + n)
 		}
 		fmt.Println("workloads:")
-		fmt.Println("  " + strings.Join(trace.ProfileNames(), " "))
+		fmt.Println("  " + strings.Join(specsched.WorkloadNames(), " "))
 		return
 	}
 
-	cfg, err := config.Preset(*cfgName)
+	sim := specsched.NewSimulator(
+		specsched.WithPreset(*cfgName),
+		specsched.WithWorkload(*workload),
+		specsched.WithWarmup(*warmup),
+		specsched.WithMeasure(*measure),
+		specsched.WithScheduler(specsched.Scheduler(*scheduler)),
+	)
+	r, err := sim.Run(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	switch *scheduler {
-	case "event":
-		cfg.Scheduler = config.SchedEvent
-	case "scan":
-		cfg.Scheduler = config.SchedScan
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -scheduler %q (want event or scan)\n", *scheduler)
-		os.Exit(1)
+
+	var paperIPC float64
+	for _, w := range specsched.Workloads() {
+		if w.Name == *workload {
+			paperIPC = w.PaperIPC
+		}
 	}
-	p, err := trace.ByName(*workload)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	c, err := core.New(cfg, trace.New(p), p.Seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	c.SetWorkloadName(p.Name)
-	r := c.Run(*warmup, *measure)
 
 	fmt.Printf("workload %s on %s (%d warmup + %d measured µ-ops)\n\n",
 		r.Workload, r.Config, *warmup, r.Committed)
-	fmt.Printf("  IPC                 %8.3f   (paper Table 2: %.3f)\n", r.IPC(), p.PaperIPC)
+	fmt.Printf("  IPC                 %8.3f   (paper Table 2: %.3f)\n", r.IPC(), paperIPC)
 	fmt.Printf("  cycles              %8d\n", r.Cycles)
 	fmt.Printf("  issued µ-ops        %8d\n", r.Issued)
 	fmt.Printf("  distinct (Unique)   %8d\n", r.Unique)
@@ -80,7 +74,7 @@ func main() {
 	fmt.Printf("  mem-order violations%8d\n", r.MemOrderViolations)
 	fmt.Printf("  avg IQ / ROB occ    %8.1f / %.1f\n",
 		float64(r.IQOccupancySum)/float64(r.Cycles), float64(r.ROBOccupancySum)/float64(r.Cycles))
-	if cfg.Scheduler == config.SchedEvent {
+	if specsched.Scheduler(*scheduler) != specsched.SchedulerScan {
 		fmt.Printf("  scheduler (event)   %8.2f wakeups/cycle, %.2f events/cycle\n",
 			r.WakeupsPerCycle(), r.EventsPerCycle())
 		if r.SkipSpans > 0 {
@@ -89,4 +83,6 @@ func main() {
 				r.SkippedCycles, r.Cycles, r.SkipSpans)
 		}
 	}
+	fmt.Printf("  simulated in        %8.0f ms (%.2f Minsts/s)\n",
+		r.Elapsed.Seconds()*1e3, float64(r.Committed)/r.Elapsed.Seconds()/1e6)
 }

@@ -11,8 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"specsched/internal/trace"
-	"specsched/internal/uop"
+	"specsched"
 )
 
 func main() {
@@ -21,37 +20,33 @@ func main() {
 	n := flag.Int("n", 50, "number of µ-ops to print")
 	flag.Parse()
 
-	var s uop.Stream
+	var w specsched.Workload
 	switch {
 	case *kernel != "":
 		switch *kernel {
 		case "chase":
-			s = trace.NewPointerChase(1, 1024)
+			w = specsched.PointerChaseWorkload(1024)
 		case "stream":
-			s = trace.NewStreamSum(8 << 10)
+			w = specsched.StreamWorkload(8 << 10)
 		case "stencil":
-			s = trace.NewStencil(8 << 10)
+			w = specsched.StencilWorkload(8 << 10)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
 			os.Exit(1)
 		}
 	case *workload != "":
-		p, err := trace.ByName(*workload)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		s = trace.New(p)
+		w = specsched.WorkloadByName(*workload)
 	default:
 		fmt.Fprintln(os.Stderr, "specify -workload or -kernel (see -h)")
 		os.Exit(1)
 	}
 
-	for i := 0; i < *n; i++ {
-		u, ok := s.Next()
-		if !ok {
-			break
-		}
-		fmt.Println(u.String())
+	uops, err := w.Trace(*n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, u := range uops {
+		fmt.Println(u)
 	}
 }

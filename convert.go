@@ -1,0 +1,60 @@
+package specsched
+
+import (
+	"reflect"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/stats"
+	"specsched/results"
+)
+
+// Scheduler selects the simulator-side wakeup/select implementation. Both
+// implementations model the same machine cycle-exactly and produce
+// bit-identical statistics; they differ only in simulator speed.
+type Scheduler string
+
+const (
+	// SchedulerEvent is the event-driven implementation (consumer lists,
+	// ready queues, timing wheels) — the default, and the fast one.
+	SchedulerEvent Scheduler = "event"
+	// SchedulerScan is the legacy per-cycle full-window scan, kept as the
+	// differential-testing reference.
+	SchedulerScan Scheduler = "scan"
+)
+
+// impl maps the public scheduler selector ("" selects the event default)
+// to the internal implementation enum.
+func (s Scheduler) impl() (config.SchedulerImpl, error) {
+	switch s {
+	case "", SchedulerEvent:
+		return config.SchedEvent, nil
+	case SchedulerScan:
+		return config.SchedScan, nil
+	}
+	return 0, wrapErrf(ErrInvalidConfig, "specsched: unknown scheduler %q (want %q or %q)",
+		s, SchedulerEvent, SchedulerScan)
+}
+
+// runFromStats copies the internal counter record into the public one,
+// field by field matched on name. Every field of stats.Run must have an
+// identically named and typed counterpart in results.Run (pinned by
+// TestRunFieldParity); results.Run may carry extra public-only fields
+// (Elapsed).
+func runFromStats(sr *stats.Run) results.Run {
+	var out results.Run
+	ov := reflect.ValueOf(&out).Elem()
+	sv := reflect.ValueOf(sr).Elem()
+	st := sv.Type()
+	for i := 0; i < st.NumField(); i++ {
+		ov.FieldByName(st.Field(i).Name).Set(sv.Field(i))
+	}
+	return out
+}
+
+// runFromStatsElapsed is runFromStats plus the wall-clock annotation.
+func runFromStatsElapsed(sr *stats.Run, elapsed time.Duration) results.Run {
+	out := runFromStats(sr)
+	out.Elapsed = elapsed
+	return out
+}

@@ -1,0 +1,57 @@
+package specsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The package's error taxonomy. Every error returned by the public API
+// matches exactly one of these sentinels under errors.Is, alongside the
+// underlying cause (a canceled run also matches context.Canceled, a
+// deadline-exceeded one context.DeadlineExceeded).
+var (
+	// ErrUnknownWorkload reports a workload name that is not in the Table 2
+	// suite (see WorkloadNames) and was not provided as a custom workload.
+	ErrUnknownWorkload = errors.New("specsched: unknown workload")
+	// ErrInvalidConfig reports an unresolvable preset name, an invalid
+	// custom workload profile, or an inconsistent option combination.
+	ErrInvalidConfig = errors.New("specsched: invalid configuration")
+	// ErrCanceled reports a simulation or sweep stopped by context
+	// cancellation. Work completed before the cancel is preserved: a sweep
+	// with a checkpoint configured remains resumable.
+	ErrCanceled = errors.New("specsched: canceled")
+)
+
+// apiError attaches one of the package sentinels to a concrete cause;
+// errors.Is matches both.
+type apiError struct {
+	sentinel error
+	cause    error
+}
+
+func (e *apiError) Error() string   { return e.cause.Error() }
+func (e *apiError) Unwrap() []error { return []error{e.sentinel, e.cause} }
+
+func wrapErr(sentinel, cause error) error {
+	return &apiError{sentinel: sentinel, cause: cause}
+}
+
+func wrapErrf(sentinel error, format string, args ...interface{}) error {
+	return &apiError{sentinel: sentinel, cause: fmt.Errorf(format, args...)}
+}
+
+// mapCtxErr lifts context cancellation errors into the package taxonomy and
+// passes every other error through unchanged.
+func mapCtxErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrCanceled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return wrapErr(ErrCanceled, err)
+	}
+	return err
+}

@@ -13,36 +13,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"specsched/internal/config"
-	"specsched/internal/core"
-	"specsched/internal/stats"
-	"specsched/internal/trace"
+	"specsched"
+	"specsched/presets"
+	"specsched/results"
 )
 
-func run(cfgName string) *stats.Run {
-	cfg, err := config.Preset(cfgName)
+func run(ctx context.Context, preset string) results.Run {
+	r, err := specsched.NewSimulator(
+		specsched.WithWorkloadSpec(specsched.StencilWorkload(8<<10)),
+		specsched.WithPreset(preset),
+		specsched.WithWarmup(10000),
+		specsched.WithMeasure(80000),
+	).Run(ctx)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
-	c, err := core.New(cfg, trace.NewStencil(8<<10), 7)
-	if err != nil {
-		panic(err)
-	}
-	c.SetWorkloadName("stencil")
-	return c.Run(10000, 80000)
+	return r
 }
 
 func main() {
-	dual := run("SpecSched_4_dual") // ideal dual-ported L1: no conflicts
-	base := run("SpecSched_4")      // banked L1, plain speculative scheduling
-	shift := run("SpecSched_4_Shift")
+	ctx := context.Background()
+	dual := run(ctx, presets.SpecSched(4, false)) // ideal dual-ported L1: no conflicts
+	base := run(ctx, presets.SpecSched(4, true))  // banked L1, plain speculative scheduling
+	shift := run(ctx, presets.Shift(4))
 
 	fmt.Println("stencil kernel: c[i] = a[i] + b[i], same-bank load pairs")
 	fmt.Println()
-	tb := stats.NewTable("", "config", "IPC", "bank conflicts", "bank replays", "issued")
-	for _, r := range []*stats.Run{dual, base, shift} {
+	tb := results.NewTable("", "config", "IPC", "bank conflicts", "bank replays", "issued")
+	for _, r := range []results.Run{dual, base, shift} {
 		tb.AddRowf(3, r.Config, r.IPC(), r.BankConflicts, r.ReplayedBank, r.Issued)
 	}
 	fmt.Println(tb.String())

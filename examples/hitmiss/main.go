@@ -12,42 +12,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"specsched/internal/config"
-	"specsched/internal/core"
-	"specsched/internal/stats"
-	"specsched/internal/trace"
+	"specsched"
+	"specsched/results"
 )
 
 func main() {
-	profile, err := trace.ByName("libquantum")
-	if err != nil {
-		panic(err)
-	}
+	ctx := context.Background()
 
 	fmt.Println("libquantum-like stream (most loads miss the L1)")
 	fmt.Println()
-	tb := stats.NewTable("", "config", "IPC", "miss replays", "spec wakeups", "delayed wakeups")
-	var base *stats.Run
+	tb := results.NewTable("", "config", "IPC", "miss replays", "spec wakeups", "delayed wakeups")
 	for _, cfgName := range []string{
 		"SpecSched_4",        // Always Hit
 		"SpecSched_4_Ctr",    // global 4-bit counter
 		"SpecSched_4_Filter", // per-PC filter + counter
 		"SpecSched_4_Crit",   // + criticality gating
 	} {
-		cfg, err := config.Preset(cfgName)
+		r, err := specsched.NewSimulator(
+			specsched.WithWorkload("libquantum"),
+			specsched.WithPreset(cfgName),
+			specsched.WithWarmup(15000),
+			specsched.WithMeasure(80000),
+		).Run(ctx)
 		if err != nil {
-			panic(err)
-		}
-		c, err := core.New(cfg, trace.New(profile), profile.Seed)
-		if err != nil {
-			panic(err)
-		}
-		c.SetWorkloadName(profile.Name)
-		r := c.Run(15000, 80000)
-		if base == nil {
-			base = r
+			log.Fatal(err)
 		}
 		tb.AddRowf(3, r.Config, r.IPC(), r.ReplayedMiss, r.LoadsSpecWakeup, r.LoadsDelayedWakeup)
 	}

@@ -1,5 +1,6 @@
 // Quickstart: simulate one SPEC-like workload on the paper's SpecSched_4
-// configuration and print the scheduling statistics.
+// configuration and print the scheduling statistics — the minimal
+// embedding of the public specsched API.
 //
 // Run with:
 //
@@ -7,36 +8,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"specsched/internal/config"
-	"specsched/internal/core"
-	"specsched/internal/trace"
+	"specsched"
 )
 
 func main() {
-	// Pick a workload profile from the Table 2 suite...
-	profile, err := trace.ByName("xalancbmk")
-	if err != nil {
-		panic(err)
-	}
+	ctx := context.Background()
 
-	// ...and a machine configuration: speculative scheduling with a
-	// 4-cycle issue-to-execute delay and a banked L1 (the paper's
-	// baseline speculative scheme, "Always Hit" policy).
-	cfg, err := config.Preset("SpecSched_4")
-	if err != nil {
-		panic(err)
-	}
-
-	c, err := core.New(cfg, trace.New(profile), profile.Seed)
-	if err != nil {
-		panic(err)
-	}
-	c.SetWorkloadName(profile.Name)
-
+	// Pick a workload from the Table 2 suite and a machine configuration:
+	// speculative scheduling with a 4-cycle issue-to-execute delay and a
+	// banked L1 (the paper's baseline speculative scheme, "Always Hit").
 	// Warm the caches and predictors, then measure.
-	r := c.Run(20000, 100000)
+	r, err := specsched.NewSimulator(
+		specsched.WithWorkload("xalancbmk"),
+		specsched.WithPreset("SpecSched_4"),
+		specsched.WithWarmup(20000),
+		specsched.WithMeasure(100000),
+	).Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%s on %s:\n", r.Workload, r.Config)
 	fmt.Printf("  IPC %.3f over %d cycles\n", r.IPC(), r.Cycles)
@@ -49,10 +43,15 @@ func main() {
 
 	// Now the same workload with the paper's best scheme: Schedule
 	// Shifting + hit/miss filter + criticality gating.
-	crit, _ := config.Preset("SpecSched_4_Crit")
-	c2, _ := core.New(crit, trace.New(profile), profile.Seed)
-	c2.SetWorkloadName(profile.Name)
-	r2 := c2.Run(20000, 100000)
+	r2, err := specsched.NewSimulator(
+		specsched.WithWorkload("xalancbmk"),
+		specsched.WithPreset("SpecSched_4_Crit"),
+		specsched.WithWarmup(20000),
+		specsched.WithMeasure(100000),
+	).Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\n%s on %s:\n", r2.Workload, r2.Config)
 	fmt.Printf("  IPC %.3f (%+.1f%%)\n", r2.IPC(), 100*(r2.IPC()/r.IPC()-1))

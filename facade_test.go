@@ -1,0 +1,333 @@
+package specsched_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"specsched"
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/internal/trace"
+	"specsched/presets"
+	"specsched/results"
+)
+
+var ctx = context.Background()
+
+// TestSimulatorMatchesDirectCore pins the façade's bit-compatibility
+// contract: a Simulator run is the identical simulation as the historical
+// direct core.New + Run path — every counter equal, field by field.
+func TestSimulatorMatchesDirectCore(t *testing.T) {
+	got, err := specsched.NewSimulator(
+		specsched.WithWorkload("gzip"),
+		specsched.WithPreset("SpecSched_4"),
+		specsched.WithWarmup(2000),
+		specsched.WithMeasure(8000),
+	).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.MustNew(cfg, trace.New(p), p.Seed)
+	c.SetWorkloadName("gzip")
+	want := c.Run(2000, 8000)
+
+	wv := reflect.ValueOf(want).Elem()
+	gv := reflect.ValueOf(got)
+	wt := wv.Type()
+	for i := 0; i < wt.NumField(); i++ {
+		name := wt.Field(i).Name
+		if g, w := gv.FieldByName(name), wv.Field(i); !w.Equal(g) {
+			t.Errorf("façade diverged from direct core run: %s = %v, want %v", name, g, w)
+		}
+	}
+	if got.Elapsed <= 0 {
+		t.Error("façade run lost its Elapsed annotation")
+	}
+}
+
+// TestSimulatorSeedOverride: the seed option must reach the generator
+// (different dynamics) and be reproducible (same seed, same run).
+func TestSimulatorSeedOverride(t *testing.T) {
+	run := func(seed uint64) results.Run {
+		opts := []specsched.Option{
+			specsched.WithWorkload("gzip"),
+			specsched.WithPreset("Baseline_0"),
+			specsched.WithWarmup(1000),
+			specsched.WithMeasure(5000),
+		}
+		if seed != 0 {
+			opts = append(opts, specsched.WithSeed(seed))
+		}
+		r, err := specsched.NewSimulator(opts...).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Elapsed = 0
+		return r
+	}
+	base, a1, a2, b := run(0), run(11), run(11), run(12)
+	if a1 != a2 {
+		t.Fatal("same seed must reproduce the identical run")
+	}
+	if a1 == base || a1 == b {
+		t.Fatal("seed override did not change the simulation")
+	}
+}
+
+// TestErrorTaxonomy: every failure mode maps to exactly the documented
+// sentinel.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		sim  *specsched.Simulator
+		want error
+	}{
+		{"unknown workload",
+			specsched.NewSimulator(specsched.WithWorkload("nope")),
+			specsched.ErrUnknownWorkload},
+		{"no workload",
+			specsched.NewSimulator(),
+			specsched.ErrUnknownWorkload},
+		{"unknown preset",
+			specsched.NewSimulator(specsched.WithWorkload("gzip"), specsched.WithPreset("Baseline_3")),
+			specsched.ErrInvalidConfig},
+		{"bad scheduler",
+			specsched.NewSimulator(specsched.WithWorkload("gzip"), specsched.WithScheduler("magic")),
+			specsched.ErrInvalidConfig},
+		{"invalid custom profile",
+			specsched.NewSimulator(specsched.WithWorkloadSpec(
+				specsched.CustomWorkload(specsched.Profile{Name: "bad", Blocks: 1}))),
+			specsched.ErrInvalidConfig},
+	}
+	for _, tc := range cases {
+		if _, err := tc.sim.Run(ctx); !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v does not match %v", tc.name, err, tc.want)
+		}
+	}
+
+	if _, err := specsched.NewSweep().Run(ctx); !errors.Is(err, specsched.ErrInvalidConfig) {
+		t.Errorf("config-less sweep: %v, want ErrInvalidConfig", err)
+	}
+	if _, err := specsched.NewSweep(
+		specsched.SweepConfigs("Baseline_0"),
+		specsched.SweepWorkloads("nope"),
+	).Run(ctx); !errors.Is(err, specsched.ErrUnknownWorkload) {
+		t.Errorf("sweep with unknown workload: %v, want ErrUnknownWorkload", err)
+	}
+}
+
+func sweepOpts(extra ...specsched.SweepOption) []specsched.SweepOption {
+	return append([]specsched.SweepOption{
+		specsched.SweepConfigs("Baseline_0", "SpecSched_4"),
+		specsched.SweepWorkloads("gzip", "hmmer"),
+		specsched.SweepSeeds(2),
+		specsched.SweepWarmup(1000),
+		specsched.SweepMeasure(4000),
+	}, extra...)
+}
+
+// TestSweepStreamEqualsRun: the cells streamed by Results must equal the
+// merged grid Run returns, bit for bit — same coordinates, same counters —
+// regardless of completion order.
+func TestSweepStreamEqualsRun(t *testing.T) {
+	grid, err := specsched.NewSweep(sweepOpts(specsched.SweepJobs(1))...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 2*2*2 {
+		t.Fatalf("grid has %d cells, want 8", len(grid))
+	}
+
+	streamed := map[specsched.CellRef]results.Run{}
+	for cell, cerr := range specsched.NewSweep(sweepOpts(specsched.SweepJobs(4))...).Results(ctx) {
+		if cerr != nil {
+			t.Fatalf("streamed cell %s failed: %v", cell.CellRef, cerr)
+		}
+		if _, dup := streamed[cell.CellRef]; dup {
+			t.Fatalf("cell %s streamed twice", cell.CellRef)
+		}
+		cell.Run.Elapsed = 0
+		streamed[cell.CellRef] = cell.Run
+	}
+	if len(streamed) != len(grid) {
+		t.Fatalf("streamed %d cells, grid has %d", len(streamed), len(grid))
+	}
+	for _, cell := range grid {
+		got, ok := streamed[cell.CellRef]
+		if !ok {
+			t.Fatalf("cell %s missing from the stream", cell.CellRef)
+		}
+		cell.Run.Elapsed = 0
+		if got != cell.Run {
+			t.Fatalf("cell %s: streamed run differs from merged grid:\n stream %+v\n grid   %+v",
+				cell.CellRef, got, cell.Run)
+		}
+	}
+}
+
+// TestSweepResultsEarlyBreak: breaking out of the iteration must stop the
+// sweep instead of leaking the pool.
+func TestSweepResultsEarlyBreak(t *testing.T) {
+	n := 0
+	for range specsched.NewSweep(sweepOpts()...).Results(ctx) {
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("iterated %d cells after break-at-2", n)
+	}
+}
+
+// TestSweepCancelPromptlyWithCheckpoint is the acceptance test for
+// cancellation: canceling mid-sweep returns ErrCanceled promptly, leaves a
+// valid resumable checkpoint holding the completed cells, and a fresh
+// sweep over the same grid serves them from the checkpoint.
+func TestSweepCancelPromptlyWithCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cctx, cancel := context.WithCancel(ctx)
+	var once sync.Once
+	opts := []specsched.SweepOption{
+		specsched.SweepConfigs("Baseline_0"),
+		specsched.SweepWorkloads("gzip", "mcf", "swim"),
+		specsched.SweepWarmup(1000),
+		// Cells long enough (hundreds of ms) that the cancel always lands
+		// mid-cell.
+		specsched.SweepMeasure(300000),
+		specsched.SweepJobs(1),
+		specsched.SweepCheckpoint(ckpt),
+		specsched.SweepProgress(func(specsched.Progress) { once.Do(cancel) }),
+	}
+
+	start := time.Now()
+	cells, err := specsched.NewSweep(opts...).Run(cctx)
+	if !errors.Is(err, specsched.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep returned %v, want ErrCanceled (and context.Canceled)", err)
+	}
+	// The first cell completes, then the cancel fires and the in-flight
+	// cell must abort within the core's poll interval — bound the whole
+	// tail generously for race-detector CI.
+	if tail := time.Since(start); tail > 30*time.Second {
+		t.Fatalf("cancel took %v to unwind", tail)
+	}
+	var done int
+	for _, c := range cells {
+		switch {
+		case c.Err == nil:
+			done++
+		case !errors.Is(c.Err, specsched.ErrCanceled):
+			t.Fatalf("cell %s failed with %v, want a cancellation error", c.CellRef, c.Err)
+		}
+	}
+	if done == 0 {
+		t.Fatal("no cell completed before the cancel")
+	}
+
+	// The checkpoint is valid and complete cells resume from it.
+	resumed, err := specsched.NewSweep(append(opts[:len(opts)-1],
+		specsched.SweepMeasure(300000))...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached int
+	for _, c := range resumed {
+		if c.Cached {
+			cached++
+		}
+	}
+	if cached < done {
+		t.Fatalf("resume served %d cells from the checkpoint, want >= %d", cached, done)
+	}
+}
+
+// TestSweepReportCacheShared: two reports on one Sweep share simulations
+// (every figure needs Baseline_0, which must only run once).
+func TestSweepReportCacheShared(t *testing.T) {
+	sweep := specsched.NewSweep(
+		specsched.SweepWorkloads("gzip", "hmmer"),
+		specsched.SweepWarmup(1000),
+		specsched.SweepMeasure(4000),
+	)
+	if _, err := sweep.Report(ctx, "table2"); err != nil {
+		t.Fatal(err)
+	}
+	after := sweep.SimulatedUOps()
+	out, err := sweep.Report(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gzip") {
+		t.Fatalf("report lost its rows:\n%s", out)
+	}
+	if sweep.SimulatedUOps() != after {
+		t.Fatal("second identical report re-simulated cells")
+	}
+	if len(sweep.Snapshot()) == 0 {
+		t.Fatal("snapshot empty after a report")
+	}
+}
+
+// TestPresetsPackage sanity-checks the name helpers against the canonical
+// listing.
+func TestPresetsPackage(t *testing.T) {
+	names := presets.Names()
+	if len(names) == 0 {
+		t.Fatal("no presets listed")
+	}
+	for _, n := range names {
+		if !presets.Valid(n) {
+			t.Errorf("listed preset %q does not validate", n)
+		}
+	}
+	for _, n := range []string{
+		presets.Baseline(0), presets.BaselineSingleLoad(),
+		presets.SpecSched(4, true), presets.SpecSched(4, false),
+		presets.Shift(4), presets.BankPred(4), presets.Ctr(4),
+		presets.Filter(4), presets.Combined(4), presets.Crit(4),
+		presets.WideWindow(presets.Baseline(0)),
+	} {
+		if !presets.Valid(n) {
+			t.Errorf("constructed preset name %q does not validate", n)
+		}
+	}
+	if presets.Valid(presets.Baseline(3)) {
+		t.Error("unregistered delay 3 must not validate")
+	}
+	if got := presets.Crit(4); got != "SpecSched_4_Crit" {
+		t.Errorf("Crit(4) = %q", got)
+	}
+}
+
+// TestWorkloadTrace: the µ-op dump is non-empty and bounded.
+func TestWorkloadTrace(t *testing.T) {
+	uops, err := specsched.WorkloadByName("gzip").Trace(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uops) != 10 {
+		t.Fatalf("Trace returned %d µ-ops, want 10", len(uops))
+	}
+	if _, err := specsched.WorkloadByName("nope").Trace(1); !errors.Is(err, specsched.ErrUnknownWorkload) {
+		t.Fatalf("Trace on unknown workload: %v", err)
+	}
+	kuops, err := specsched.StencilWorkload(1 << 10).Trace(3)
+	if err != nil || len(kuops) != 3 {
+		t.Fatalf("kernel trace: %v (%d µ-ops)", err, len(kuops))
+	}
+}

@@ -1,0 +1,178 @@
+// Package apigen renders the exported surface of the public specsched
+// packages as a stable, diffable text document. The committed golden
+// (api/specsched.txt) is regenerated and compared in CI, so any change to
+// the public API — a new function, a removed field, a changed signature —
+// must show up in review as a diff of that file.
+//
+// The dump is AST-based (no type checking): it lists every exported
+// constant, variable, function, type, struct field, and method with its
+// source-level signature, normalized and sorted within each package.
+package apigen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	iofs "io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Surface renders the exported API of the Go packages in dirs (one package
+// per directory; test files are ignored) into one sorted text document.
+func Surface(dirs ...string) (string, error) {
+	var out strings.Builder
+	for i, dir := range dirs {
+		sec, err := packageSurface(dir)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			out.WriteString("\n")
+		}
+		out.WriteString(sec)
+	}
+	return out.String(), nil
+}
+
+func packageSurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi iofs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", fmt.Errorf("apigen: %s: %w", dir, err)
+	}
+	if len(pkgs) != 1 {
+		return "", fmt.Errorf("apigen: %s holds %d packages, want 1", dir, len(pkgs))
+	}
+	var lines []string
+	var pkgName string
+	for name, pkg := range pkgs {
+		pkgName = name
+		files := make([]string, 0, len(pkg.Files))
+		for f := range pkg.Files {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			lines = append(lines, fileSurface(fset, pkg.Files[f])...)
+		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	fmt.Fprintf(&b, "package %s // %q\n", pkgName, filepath.ToSlash(dir))
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func fileSurface(fset *token.FileSet, f *ast.File) []string {
+	var lines []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil {
+				recv := exprString(fset, d.Recv.List[0].Type)
+				// Methods on unexported receivers are unreachable.
+				if !ast.IsExported(strings.TrimLeft(recv, "*")) {
+					continue
+				}
+				lines = append(lines, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, funcSig(fset, d.Type)))
+			} else {
+				lines = append(lines, fmt.Sprintf("func %s%s", d.Name.Name, funcSig(fset, d.Type)))
+			}
+		case *ast.GenDecl:
+			lines = append(lines, genDeclSurface(fset, d)...)
+		}
+	}
+	return lines
+}
+
+func genDeclSurface(fset *token.FileSet, d *ast.GenDecl) []string {
+	var lines []string
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if !sp.Name.IsExported() {
+				continue
+			}
+			assign := ""
+			if sp.Assign.IsValid() {
+				assign = "= "
+			}
+			switch t := sp.Type.(type) {
+			case *ast.StructType:
+				lines = append(lines, fmt.Sprintf("type %s struct", sp.Name.Name))
+				for _, fld := range t.Fields.List {
+					ft := exprString(fset, fld.Type)
+					if len(fld.Names) == 0 { // embedded
+						if ast.IsExported(strings.TrimLeft(ft, "*")) || strings.Contains(ft, ".") {
+							lines = append(lines, fmt.Sprintf("type %s struct, embed %s", sp.Name.Name, ft))
+						}
+						continue
+					}
+					for _, n := range fld.Names {
+						if n.IsExported() {
+							lines = append(lines, fmt.Sprintf("type %s struct, field %s %s", sp.Name.Name, n.Name, ft))
+						}
+					}
+				}
+			case *ast.InterfaceType:
+				lines = append(lines, fmt.Sprintf("type %s interface", sp.Name.Name))
+				for _, m := range t.Methods.List {
+					for _, n := range m.Names {
+						if n.IsExported() {
+							lines = append(lines, fmt.Sprintf("type %s interface, method %s%s",
+								sp.Name.Name, n.Name, funcSig(fset, m.Type.(*ast.FuncType))))
+						}
+					}
+				}
+			default:
+				lines = append(lines, fmt.Sprintf("type %s %s%s", sp.Name.Name, assign, exprString(fset, sp.Type)))
+			}
+		case *ast.ValueSpec:
+			kw := "var"
+			if d.Tok == token.CONST {
+				kw = "const"
+			}
+			typ := ""
+			if sp.Type != nil {
+				typ = " " + exprString(fset, sp.Type)
+			}
+			for i, n := range sp.Names {
+				if !n.IsExported() {
+					continue
+				}
+				val := ""
+				if kw == "const" && i < len(sp.Values) {
+					val = " = " + exprString(fset, sp.Values[i])
+				}
+				lines = append(lines, fmt.Sprintf("%s %s%s%s", kw, n.Name, typ, val))
+			}
+		}
+	}
+	return lines
+}
+
+func funcSig(fset *token.FileSet, t *ast.FuncType) string {
+	sig := exprString(fset, t)
+	return strings.TrimPrefix(sig, "func")
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	// Normalize whitespace so formatting churn never diffs the golden.
+	return strings.Join(strings.Fields(b.String()), " ")
+}

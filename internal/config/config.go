@@ -12,6 +12,8 @@ package config
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strings"
 )
 
 // HitMissPolicy selects how the scheduler decides whether a load may wake
@@ -509,42 +511,61 @@ func WideWindow(c CoreConfig) CoreConfig {
 	return c
 }
 
-// Preset looks up a configuration by its paper name. Recognized names:
-// Baseline_N, Baseline_0_1ld, SpecSched_N, SpecSched_N_dual,
-// SpecSched_N_{Shift,Ctr,Filter,Combined,Crit} for N in {0,2,4,6}.
-func Preset(name string) (CoreConfig, error) {
-	for _, d := range []int{0, 2, 4, 6} {
-		for _, c := range []CoreConfig{
+// PresetDelays are the issue-to-execute delays the paper evaluates; every
+// delay-parameterized preset family is registered for exactly these values.
+var PresetDelays = []int{0, 2, 4, 6}
+
+// wideWindowSuffix marks the widened-window (IQ=256) variant of any preset;
+// Preset resolves it by applying WideWindow to the base preset.
+const wideWindowSuffix = "_IQ256"
+
+// allPresets enumerates every registered preset. It is the single source of
+// truth behind Preset and Presets, so a preset family added here is
+// automatically constructible by name and listed everywhere.
+func allPresets() []CoreConfig {
+	out := []CoreConfig{BaselineSingleLoad()}
+	for _, d := range PresetDelays {
+		out = append(out,
 			Baseline(d), SpecSched(d, true), SpecSched(d, false),
 			SpecSchedShift(d), SpecSchedBankPred(d), SpecSchedCtr(d),
 			SpecSchedFilter(d), SpecSchedCombined(d), SpecSchedCrit(d),
-		} {
-			if c.Name == name {
-				return c, nil
-			}
-		}
+		)
 	}
-	if c := BaselineSingleLoad(); c.Name == name {
-		return c, nil
+	return out
+}
+
+// Preset looks up a configuration by its paper name. Recognized names:
+// Baseline_N, Baseline_0_1ld, SpecSched_N, SpecSched_N_dual,
+// SpecSched_N_{Shift,BankPred,Ctr,Filter,Combined,Crit} for N in
+// PresetDelays, plus any of those with an _IQ256 suffix selecting the
+// WideWindow study point of the base preset.
+func Preset(name string) (CoreConfig, error) {
+	if base, ok := strings.CutSuffix(name, wideWindowSuffix); ok && base != "" {
+		c, err := Preset(base)
+		if err != nil {
+			return CoreConfig{}, err
+		}
+		return WideWindow(c), nil
+	}
+	for _, c := range allPresets() {
+		if c.Name == name {
+			return c, nil
+		}
 	}
 	return CoreConfig{}, fmt.Errorf("config: unknown preset %q", name)
 }
 
-// PresetNames lists every recognized preset name in a stable order.
-func PresetNames() []string {
-	names := []string{"Baseline_0_1ld"}
-	for _, d := range []int{0, 2, 4, 6} {
-		names = append(names,
-			fmt.Sprintf("Baseline_%d", d),
-			fmt.Sprintf("SpecSched_%d", d),
-			fmt.Sprintf("SpecSched_%d_dual", d),
-			fmt.Sprintf("SpecSched_%d_Shift", d),
-			fmt.Sprintf("SpecSched_%d_BankPred", d),
-			fmt.Sprintf("SpecSched_%d_Ctr", d),
-			fmt.Sprintf("SpecSched_%d_Filter", d),
-			fmt.Sprintf("SpecSched_%d_Combined", d),
-			fmt.Sprintf("SpecSched_%d_Crit", d),
-		)
+// Presets lists every registered preset name in sorted order — the
+// canonical listing behind cmd/specsched -list, cmd/experiments -list, and
+// the public presets package. The _IQ256 variants are resolvable by Preset
+// but deliberately not listed: they are simulator study points, not paper
+// configurations.
+func Presets() []string {
+	ps := allPresets()
+	names := make([]string, len(ps))
+	for i, c := range ps {
+		names[i] = c.Name
 	}
+	sort.Strings(names)
 	return names
 }

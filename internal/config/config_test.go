@@ -1,6 +1,7 @@
 package config
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -22,7 +23,7 @@ func TestDefaultValid(t *testing.T) {
 }
 
 func TestAllPresetsValid(t *testing.T) {
-	for _, name := range PresetNames() {
+	for _, name := range Presets() {
 		c, err := Preset(name)
 		if err != nil {
 			t.Fatalf("Preset(%q): %v", name, err)
@@ -39,6 +40,41 @@ func TestAllPresetsValid(t *testing.T) {
 func TestUnknownPreset(t *testing.T) {
 	if _, err := Preset("SpecSched_3"); err == nil {
 		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestPresetsSortedAndComplete(t *testing.T) {
+	names := Presets()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Presets() not sorted: %v", names)
+	}
+	// 1 single-load baseline + 9 families × 4 delays.
+	if want := 1 + 9*len(PresetDelays); len(names) != want {
+		t.Fatalf("Presets() lists %d names, want %d", len(names), want)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate preset name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPresetWideWindowSuffix(t *testing.T) {
+	c, err := Preset("Baseline_0_IQ256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := WideWindow(Baseline(0))
+	if c.Name != "Baseline_0_IQ256" || c.IQEntries != 256 || c.Digest() != want.Digest() {
+		t.Fatalf("Preset(Baseline_0_IQ256) = %+v, want WideWindow(Baseline_0)", c)
+	}
+	if _, err := Preset("Nope_IQ256"); err == nil {
+		t.Fatal("unknown base preset with _IQ256 suffix must fail")
+	}
+	if _, err := Preset("_IQ256"); err == nil {
+		t.Fatal("bare _IQ256 must fail")
 	}
 }
 
@@ -153,7 +189,7 @@ func TestSchedulerImplDefaultAndStringer(t *testing.T) {
 	if Default().Scheduler != SchedEvent {
 		t.Error("default scheduler is not event-driven")
 	}
-	for _, name := range PresetNames() {
+	for _, name := range Presets() {
 		cfg, err := Preset(name)
 		if err != nil {
 			t.Fatal(err)

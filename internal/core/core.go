@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"specsched/internal/bpred"
@@ -333,10 +334,29 @@ func (c *Core) Step() {
 // then simulates until measure more µ-ops commit, and returns the
 // measurement window's statistics.
 func (c *Core) Run(warmup, measure int64) *stats.Run {
-	c.stepTo(c.committed + warmup)
+	r, err := c.RunContext(context.Background(), warmup, measure)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return r
+}
+
+// RunContext is Run with cooperative cancellation: the step loop polls the
+// context every cancelPollCycles simulated busy cycles (sub-millisecond in
+// wall-clock terms) and returns the context's cause error, leaving the core
+// in a consistent mid-simulation state — a later RunContext call resumes
+// where the canceled one stopped. An uncancelable context pays no polling
+// cost.
+func (c *Core) RunContext(ctx context.Context, warmup, measure int64) (*stats.Run, error) {
+	if err := c.stepTo(ctx, c.committed+warmup); err != nil {
+		return nil, err
+	}
 	c.ResetStats()
-	c.stepTo(c.committed + measure)
-	return c.run
+	if err := c.stepTo(ctx, c.committed+measure); err != nil {
+		return nil, err
+	}
+	return c.run, nil
 }
 
 // ResetStats zeroes the statistics record while keeping all architectural
@@ -346,17 +366,34 @@ func (c *Core) ResetStats() {
 	*c.run = stats.Run{Workload: name, Config: cfgName}
 }
 
-// stepTo simulates until targetCommitted µ-ops have committed. The scan
-// scheduler steps every cycle; the event scheduler, when config.TimeSkip is
-// on, first jumps any provably quiescent span straight to the next
-// interesting cycle (see skipQuiescent) and then executes the cycle where
-// something can actually happen — per-cycle semantics inside Step are
-// untouched, so single-stepping tests and the scan path see the exact same
-// machine.
-func (c *Core) stepTo(targetCommitted int64) {
+// cancelPollCycles is how many step-loop iterations (busy cycles; skipped
+// quiescent spans count as one) run between context-cancellation polls. At
+// the simulator's worst-case ~5M busy cycles/sec this bounds the response
+// to a cancel at well under a millisecond of wall clock, while keeping the
+// poll amortized to nothing on the hot path.
+const cancelPollCycles = 4096
+
+// stepTo simulates until targetCommitted µ-ops have committed, or until ctx
+// is canceled (returning the cancellation cause). The scan scheduler steps
+// every cycle; the event scheduler, when config.TimeSkip is on, first jumps
+// any provably quiescent span straight to the next interesting cycle (see
+// skipQuiescent) and then executes the cycle where something can actually
+// happen — per-cycle semantics inside Step are untouched, so
+// single-stepping tests and the scan path see the exact same machine.
+func (c *Core) stepTo(ctx context.Context, targetCommitted int64) error {
 	skip := c.sched != nil && c.cfg.TimeSkip
+	cancelable := ctx.Done() != nil
+	poll := cancelPollCycles
 	c.lastProgress = c.cycle
 	for c.committed < targetCommitted {
+		if cancelable {
+			if poll--; poll <= 0 {
+				if ctx.Err() != nil {
+					return context.Cause(ctx)
+				}
+				poll = cancelPollCycles
+			}
+		}
 		if skip {
 			c.skipQuiescent()
 		}
@@ -369,6 +406,7 @@ func (c *Core) stepTo(targetCommitted int64) {
 				c.cycle, c.committed, len(c.rob), c.iqCount, len(c.recovery), c.describeHead()))
 		}
 	}
+	return nil
 }
 
 func (c *Core) describeHead() string {

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/trace"
+)
+
+// TestRunContextCancelsPromptly: a canceled context must stop the step loop
+// within (roughly) one cancellation-poll interval, and a follow-up
+// RunContext on the same core must resume the simulation where the canceled
+// call stopped.
+func TestRunContextCancelsPromptly(t *testing.T) {
+	p, err := trace.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(cfg, trace.New(p), p.Seed)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// 1G µ-ops would run for minutes; only the cancel can end this call.
+	r, err := c.RunContext(ctx, 1_000_000_000, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("RunContext returned nil error after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if r != nil {
+		t.Fatal("canceled RunContext must not return a stats record")
+	}
+	// Generous bound (race detector, loaded CI): the poll interval itself
+	// is sub-millisecond.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v to take effect", elapsed)
+	}
+
+	// The core must still be usable: resume with a fresh context.
+	before := c.committed
+	r2, err := c.RunContext(context.Background(), 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit is RetireWidth-wide, so the window can overshoot by a group.
+	if r2.Committed < 1000 {
+		t.Fatalf("resumed run committed %d, want >= 1000", r2.Committed)
+	}
+	if c.committed <= before {
+		t.Fatal("resumed run made no progress")
+	}
+}
+
+// TestRunContextCancelCause: a context canceled with a cause must surface
+// that cause, so callers can attach typed sentinel errors.
+func TestRunContextCancelCause(t *testing.T) {
+	p, err := trace.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(config.Default(), trace.New(p), p.Seed)
+	sentinel := errors.New("sweep torn down")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(sentinel)
+	if _, err := c.RunContext(ctx, 1_000_000_000, 1); !errors.Is(err, sentinel) {
+		t.Fatalf("RunContext error = %v, want cause %v", err, sentinel)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,8 +13,8 @@ import (
 // the workload set on the sim pool, bypassing the preset-name cache
 // (ablation configs are one-shot). The set is assembled in grid order, so
 // its iteration order is deterministic too.
-func (r *Runner) collectConfigs(cfgs []config.CoreConfig) (*stats.Set, error) {
-	runs, err := r.runGrid(cfgs)
+func (r *Runner) collectConfigs(ctx context.Context, cfgs []config.CoreConfig) (*stats.Set, error) {
+	runs, err := r.runGrid(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -80,13 +81,13 @@ func ablationVariants() []config.CoreConfig {
 
 // Ablations runs the design-choice ablations against their SpecSched_4
 // reference points and reports gmean performance and replay counts.
-func (r *Runner) Ablations() (string, error) {
-	refSet, err := r.Collect(baselineName, "SpecSched_4", "SpecSched_4_Filter", "SpecSched_4_Crit")
+func (r *Runner) Ablations(ctx context.Context) (string, error) {
+	refSet, err := r.Collect(ctx, baselineName, "SpecSched_4", "SpecSched_4_Filter", "SpecSched_4_Crit")
 	if err != nil {
 		return "", err
 	}
 	variants := ablationVariants()
-	varSet, err := r.collectConfigs(variants)
+	varSet, err := r.collectConfigs(ctx, variants)
 	if err != nil {
 		return "", err
 	}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -141,7 +142,7 @@ func (r *Runner) checkpoint() (*sim.Checkpoint, error) {
 // panic, timeout) never abort the sweep; they are aggregated into the
 // returned error after every other cell has completed, so the checkpoint
 // retains the surviving cells.
-func (r *Runner) runGrid(cfgs []config.CoreConfig) (map[string]*stats.Run, error) {
+func (r *Runner) runGrid(ctx context.Context, cfgs []config.CoreConfig) (map[string]*stats.Run, error) {
 	cells := make([]sim.Cell, 0, len(cfgs)*len(r.opts.Workloads)*r.opts.Seeds)
 	for _, cfg := range cfgs {
 		cfg.Scheduler = r.opts.Scheduler
@@ -164,8 +165,8 @@ func (r *Runner) runGrid(cfgs []config.CoreConfig) (map[string]*stats.Run, error
 		Checkpoint:  cp,
 		OnProgress:  r.opts.OnProgress,
 	}
-	results := pool.Run(cells, func(c sim.Cell) (*stats.Run, error) {
-		return sim.Simulate(c, r.opts.Warmup, r.opts.Measure)
+	results := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
+		return sim.Simulate(ctx, c, r.opts.Warmup, r.opts.Measure)
 	})
 
 	out := make(map[string]*stats.Run)
@@ -191,9 +192,15 @@ func (r *Runner) runGrid(cfgs []config.CoreConfig) (map[string]*stats.Run, error
 	r.simulated += executed
 	r.mu.Unlock()
 	if cp != nil {
+		// Flush even (especially) on cancellation: the completed cells are
+		// what makes an interrupted sweep resumable.
 		if err := cp.Flush(); err != nil {
 			return out, err
 		}
+	}
+	if ctx.Err() != nil {
+		return out, fmt.Errorf("experiments: sweep interrupted after %d/%d cells: %w",
+			len(cells)-len(failures), len(cells), context.Cause(ctx))
 	}
 	if len(failures) > 0 {
 		return out, fmt.Errorf("experiments: %d/%d cells failed:\n  %s",
@@ -204,7 +211,7 @@ func (r *Runner) runGrid(cfgs []config.CoreConfig) (map[string]*stats.Run, error
 
 // Collect ensures every (config, workload) pair has run and returns the
 // populated set. Missing pairs execute on the work-stealing pool.
-func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
+func (r *Runner) Collect(ctx context.Context, cfgNames ...string) (*stats.Set, error) {
 	var missing []config.CoreConfig
 	r.mu.Lock()
 	for _, cn := range cfgNames {
@@ -229,7 +236,7 @@ func (r *Runner) Collect(cfgNames ...string) (*stats.Set, error) {
 	r.mu.Unlock()
 
 	if len(missing) > 0 {
-		runs, err := r.runGrid(missing)
+		runs, err := r.runGrid(ctx, missing)
 		r.mu.Lock()
 		for k, run := range runs {
 			r.cache[k] = run
@@ -376,8 +383,8 @@ func Table1() string {
 
 // Table2 runs Baseline_0 on the full suite and reports measured IPC next to
 // the paper's Table 2 value.
-func (r *Runner) Table2() (string, error) {
-	set, err := r.Collect(baselineName)
+func (r *Runner) Table2(ctx context.Context) (string, error) {
+	set, err := r.Collect(ctx, baselineName)
 	if err != nil {
 		return "", err
 	}
@@ -393,9 +400,9 @@ func (r *Runner) Table2() (string, error) {
 
 // Fig3 reproduces the conservative-scheduling slowdown: Baseline_0 with a
 // single load port, and Baseline_{2,4,6}, normalized to Baseline_0.
-func (r *Runner) Fig3() (string, error) {
+func (r *Runner) Fig3(ctx context.Context) (string, error) {
 	cfgs := []string{"Baseline_0_1ld", "Baseline_2", "Baseline_4", "Baseline_6"}
-	set, err := r.Collect(append(cfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(cfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -405,13 +412,13 @@ func (r *Runner) Fig3() (string, error) {
 
 // Fig4 reproduces speculative scheduling across delays with dual-ported
 // vs banked L1 (a) and the replayed-µ-op breakdown for the banked case (b).
-func (r *Runner) Fig4() (string, error) {
+func (r *Runner) Fig4(ctx context.Context) (string, error) {
 	perfCfgs := []string{
 		"SpecSched_2_dual", "SpecSched_2",
 		"SpecSched_4_dual", "SpecSched_4",
 		"SpecSched_6_dual", "SpecSched_6",
 	}
-	set, err := r.Collect(append(perfCfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(perfCfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -423,9 +430,9 @@ func (r *Runner) Fig4() (string, error) {
 }
 
 // Fig5 reproduces Schedule Shifting on SpecSched_4 with a banked L1.
-func (r *Runner) Fig5() (string, error) {
+func (r *Runner) Fig5(ctx context.Context) (string, error) {
 	cfgs := []string{"SpecSched_4", "SpecSched_4_Shift"}
-	set, err := r.Collect(append(cfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(cfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -441,9 +448,9 @@ func (r *Runner) Fig5() (string, error) {
 
 // Fig7 reproduces hit/miss filtering: the global counter alone and the
 // per-PC filter backed by the counter.
-func (r *Runner) Fig7() (string, error) {
+func (r *Runner) Fig7(ctx context.Context) (string, error) {
 	cfgs := []string{"SpecSched_4", "SpecSched_4_Ctr", "SpecSched_4_Filter"}
-	set, err := r.Collect(append(cfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(cfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -465,9 +472,9 @@ func (r *Runner) Fig7() (string, error) {
 }
 
 // Fig8 reproduces the combined mechanisms and criticality gating.
-func (r *Runner) Fig8() (string, error) {
+func (r *Runner) Fig8(ctx context.Context) (string, error) {
 	cfgs := []string{"SpecSched_4", "SpecSched_4_Combined", "SpecSched_4_Crit"}
-	set, err := r.Collect(append(cfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(cfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -493,9 +500,9 @@ func (r *Runner) Fig8() (string, error) {
 
 // DelaySweep reports the §5.3 text numbers: SpecSched_{2,6}_Crit replay and
 // issue reductions relative to SpecSched_{2,6}.
-func (r *Runner) DelaySweep() (string, error) {
+func (r *Runner) DelaySweep(ctx context.Context) (string, error) {
 	cfgs := []string{"SpecSched_2", "SpecSched_2_Crit", "SpecSched_6", "SpecSched_6_Crit"}
-	set, err := r.Collect(append(cfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(cfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -517,10 +524,10 @@ func (r *Runner) DelaySweep() (string, error) {
 }
 
 // Summary reports the paper's headline numbers for SpecSched_4_Crit.
-func (r *Runner) Summary() (string, error) {
+func (r *Runner) Summary(ctx context.Context) (string, error) {
 	cfgs := []string{"SpecSched_4", "SpecSched_4_Shift", "SpecSched_4_Filter",
 		"SpecSched_4_Combined", "SpecSched_4_Crit"}
-	set, err := r.Collect(append(cfgs, baselineName)...)
+	set, err := r.Collect(ctx, append(cfgs, baselineName)...)
 	if err != nil {
 		return "", err
 	}
@@ -550,30 +557,30 @@ func Names() []string {
 }
 
 // Run executes one named experiment and returns its report.
-func (r *Runner) Run(name string) (string, error) {
+func (r *Runner) Run(ctx context.Context, name string) (string, error) {
 	switch name {
 	case "table1":
 		return Table1(), nil
 	case "table2":
-		return r.Table2()
+		return r.Table2(ctx)
 	case "fig3":
-		return r.Fig3()
+		return r.Fig3(ctx)
 	case "fig4":
-		return r.Fig4()
+		return r.Fig4(ctx)
 	case "fig5":
-		return r.Fig5()
+		return r.Fig5(ctx)
 	case "fig7":
-		return r.Fig7()
+		return r.Fig7(ctx)
 	case "fig8":
-		return r.Fig8()
+		return r.Fig8(ctx)
 	case "delays":
-		return r.DelaySweep()
+		return r.DelaySweep(ctx)
 	case "summary":
-		return r.Summary()
+		return r.Summary(ctx)
 	case "ablations":
-		return r.Ablations()
+		return r.Ablations(ctx)
 	case "replayschemes":
-		return r.ReplaySchemes()
+		return r.ReplaySchemes(ctx)
 	default:
 		known := Names()
 		sort.Strings(known)

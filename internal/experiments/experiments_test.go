@@ -1,12 +1,20 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
+	"specsched/internal/sim"
 	"specsched/internal/stats"
 )
+
+// ctx is the background context shared by these tests; cancellation
+// behaviour is covered separately.
+var ctx = context.Background()
 
 // tinyOpts keeps experiment tests fast: three contrasting workloads (one
 // with load-use chains over L1 hits, one bank-conflict-prone, one
@@ -30,7 +38,7 @@ func TestTable1Static(t *testing.T) {
 
 func TestTable2(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	out, err := r.Table2()
+	out, err := r.Table2(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +54,10 @@ func TestTable2(t *testing.T) {
 
 func TestFig3Shape(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	if _, err := r.Fig3(); err != nil {
+	if _, err := r.Fig3(ctx); err != nil {
 		t.Fatal(err)
 	}
-	set, err := r.Collect("Baseline_0", "Baseline_2", "Baseline_4", "Baseline_6")
+	set, err := r.Collect(ctx, "Baseline_0", "Baseline_2", "Baseline_4", "Baseline_6")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,14 +74,14 @@ func TestFig3Shape(t *testing.T) {
 
 func TestFig5ShiftingRemovesBankReplays(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	out, err := r.Fig5()
+	out, err := r.Fig5(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "74.8%") {
 		t.Error("Fig 5 report missing the paper reference number")
 	}
-	set, err := r.Collect("SpecSched_4", "SpecSched_4_Shift")
+	set, err := r.Collect(ctx, "SpecSched_4", "SpecSched_4_Shift")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,10 +94,10 @@ func TestFig5ShiftingRemovesBankReplays(t *testing.T) {
 
 func TestFig8CritRemovesMostReplays(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	if _, err := r.Fig8(); err != nil {
+	if _, err := r.Fig8(ctx); err != nil {
 		t.Fatal(err)
 	}
-	set, err := r.Collect("SpecSched_4", "SpecSched_4_Crit")
+	set, err := r.Collect(ctx, "SpecSched_4", "SpecSched_4_Crit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +110,11 @@ func TestFig8CritRemovesMostReplays(t *testing.T) {
 
 func TestRunnerCacheReuse(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	a, err := r.Collect("Baseline_0")
+	a, err := r.Collect(ctx, "Baseline_0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Collect("Baseline_0")
+	b, err := r.Collect(ctx, "Baseline_0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +127,12 @@ func TestRunnerCacheReuse(t *testing.T) {
 func TestRunnerParallelDeterminism(t *testing.T) {
 	opts := tinyOpts()
 	opts.Parallel = 4
-	a, err := NewRunner(opts).Collect("SpecSched_4")
+	a, err := NewRunner(opts).Collect(ctx, "SpecSched_4")
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallel = 1
-	b, err := NewRunner(opts).Collect("SpecSched_4")
+	b, err := NewRunner(opts).Collect(ctx, "SpecSched_4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +149,7 @@ func TestRunnerParallelDeterminism(t *testing.T) {
 func summarySet(t *testing.T, opts Options) (*Runner, *stats.Set) {
 	t.Helper()
 	r := NewRunner(opts)
-	if _, err := r.Summary(); err != nil {
+	if _, err := r.Summary(ctx); err != nil {
 		t.Fatal(err)
 	}
 	return r, r.Snapshot()
@@ -185,19 +193,19 @@ func TestSeedReplicasPoolDeterministically(t *testing.T) {
 	opts := tinyOpts()
 	opts.Seeds = 3
 	opts.Parallel = 1
-	a, err := NewRunner(opts).Collect("Baseline_0")
+	a, err := NewRunner(opts).Collect(ctx, "Baseline_0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallel = 8
-	b, err := NewRunner(opts).Collect("Baseline_0")
+	b, err := NewRunner(opts).Collect(ctx, "Baseline_0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertSetsIdentical(t, a, b, "seeds=3 jobs=1 vs jobs=8")
 
 	single := tinyOpts()
-	c, err := NewRunner(single).Collect("Baseline_0")
+	c, err := NewRunner(single).Collect(ctx, "Baseline_0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +224,7 @@ func TestRunnerCheckpointResume(t *testing.T) {
 	opts.Checkpoint = ckpt
 
 	r1 := NewRunner(opts)
-	a, err := r1.Collect("Baseline_0", "SpecSched_4")
+	a, err := r1.Collect(ctx, "Baseline_0", "SpecSched_4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +233,7 @@ func TestRunnerCheckpointResume(t *testing.T) {
 	}
 
 	r2 := NewRunner(opts)
-	b, err := r2.Collect("Baseline_0", "SpecSched_4")
+	b, err := r2.Collect(ctx, "Baseline_0", "SpecSched_4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +244,7 @@ func TestRunnerCheckpointResume(t *testing.T) {
 
 	// Extending the grid only pays for the new config.
 	r3 := NewRunner(opts)
-	if _, err := r3.Collect("Baseline_0", "SpecSched_4", "SpecSched_4_Crit"); err != nil {
+	if _, err := r3.Collect(ctx, "Baseline_0", "SpecSched_4", "SpecSched_4_Crit"); err != nil {
 		t.Fatal(err)
 	}
 	perCfg := (opts.Warmup + opts.Measure) * int64(len(opts.Workloads))
@@ -252,7 +260,7 @@ func TestCollectReportsFailedCellsAfterSweep(t *testing.T) {
 	opts := tinyOpts()
 	opts.Workloads = []string{"gzip", "nonexistent"}
 	r := NewRunner(opts)
-	_, err := r.Collect("Baseline_0")
+	_, err := r.Collect(ctx, "Baseline_0")
 	if err == nil {
 		t.Fatal("sweep with a broken cell must error")
 	}
@@ -266,7 +274,7 @@ func TestCollectReportsFailedCellsAfterSweep(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	if _, err := r.Run("fig42"); err == nil {
+	if _, err := r.Run(ctx, "fig42"); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }
@@ -274,7 +282,7 @@ func TestUnknownExperiment(t *testing.T) {
 func TestRunDispatch(t *testing.T) {
 	r := NewRunner(tinyOpts())
 	for _, name := range []string{"table1", "summary"} {
-		out, err := r.Run(name)
+		out, err := r.Run(ctx, name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -288,14 +296,14 @@ func TestUnknownWorkloadPropagates(t *testing.T) {
 	opts := tinyOpts()
 	opts.Workloads = []string{"nonexistent"}
 	r := NewRunner(opts)
-	if _, err := r.Table2(); err == nil {
+	if _, err := r.Table2(ctx); err == nil {
 		t.Fatal("unknown workload must error")
 	}
 }
 
 func TestAblationsRun(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	out, err := r.Ablations()
+	out, err := r.Ablations(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +316,7 @@ func TestAblationsRun(t *testing.T) {
 
 func TestReplaySchemesAgnosticism(t *testing.T) {
 	r := NewRunner(tinyOpts())
-	out, err := r.ReplaySchemes()
+	out, err := r.ReplaySchemes(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,5 +324,46 @@ func TestReplaySchemesAgnosticism(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("replay-schemes report missing %q", want)
 		}
+	}
+}
+
+// TestCollectCanceledFlushesCheckpoint: canceling a sweep mid-flight must
+// surface context.Canceled, keep the completed cells in the checkpoint, and
+// let a resumed runner pick up from there without re-simulating them.
+func TestCollectCanceledFlushesCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	opts := tinyOpts()
+	opts.Checkpoint = ckpt
+	opts.Parallel = 1
+	// Long cells so the cancel lands mid-sweep.
+	opts.Measure = 150000
+
+	cctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	opts.OnProgress = func(sim.Progress) { once.Do(cancel) } // cancel after the 1st cell
+	r := NewRunner(opts)
+	_, err := r.Collect(cctx, "Baseline_0")
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep returned %v, want context.Canceled", err)
+	}
+
+	cp, err := sim.LoadCheckpoint(ckpt, sim.Fingerprint(opts.Warmup, opts.Measure, opts.Scheduler))
+	if err != nil {
+		t.Fatalf("checkpoint unusable after cancel: %v", err)
+	}
+	if cp.Len() == 0 {
+		t.Fatal("no completed cells in the checkpoint after cancel")
+	}
+	done := cp.Len()
+
+	// Resume: the completed cells are served from the checkpoint.
+	r2 := NewRunner(opts)
+	if _, err := r2.Collect(context.Background(), "Baseline_0"); err != nil {
+		t.Fatal(err)
+	}
+	perCell := opts.Warmup + opts.Measure
+	want := perCell * int64(len(opts.Workloads)-done)
+	if got := r2.SimulatedUOps(); got != want {
+		t.Fatalf("resume simulated %d µ-ops, want %d (%d cells were checkpointed)", got, want, done)
 	}
 }

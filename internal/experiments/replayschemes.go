@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,7 +14,7 @@ import (
 // the baseline speculative scheduler and SpecSched_4_Crit. The paper's
 // mechanisms claim to be replay-scheme-agnostic: the replay *reductions*
 // from Shifting + filtering + criticality should hold under either scheme.
-func (r *Runner) ReplaySchemes() (string, error) {
+func (r *Runner) ReplaySchemes(ctx context.Context) (string, error) {
 	mk := func(base config.CoreConfig, scheme config.ReplayScheme, name string) config.CoreConfig {
 		base.Replay = scheme
 		base.Name = name
@@ -25,11 +26,11 @@ func (r *Runner) ReplaySchemes() (string, error) {
 		mk(config.SpecSchedCrit(4), config.RecoveryBuffer, "Crit_alpha"),
 		mk(config.SpecSchedCrit(4), config.SelectiveReplay, "Crit_selective"),
 	}
-	set, err := r.collectConfigs(cfgs)
+	set, err := r.collectConfigs(ctx, cfgs)
 	if err != nil {
 		return "", err
 	}
-	refSet, err := r.Collect(baselineName)
+	refSet, err := r.Collect(ctx, baselineName)
 	if err != nil {
 		return "", err
 	}

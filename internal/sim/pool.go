@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -46,6 +47,11 @@ type Pool struct {
 	// OnProgress, when non-nil, is invoked after every finished cell, from
 	// a single collector goroutine (no synchronization needed inside).
 	OnProgress func(Progress)
+	// OnResult, when non-nil, receives every finished cell's full Result
+	// (checkpoint-satisfied cells included) in completion order, from the
+	// same single collector goroutine as OnProgress — the streaming hook
+	// behind the public Sweep.Results iterator.
+	OnResult func(Result)
 }
 
 // Run executes every cell through fn and returns the results in cell
@@ -53,11 +59,20 @@ type Pool struct {
 // count or completion order, which is what makes downstream merging
 // deterministic. A failing cell (error, panic, timeout) yields a Result
 // with Err set; the sweep always runs to completion.
-func (p *Pool) Run(cells []Cell, fn func(Cell) (*stats.Run, error)) []Result {
+//
+// Canceling ctx stops the sweep promptly and cooperatively: workers stop
+// claiming cells, the in-flight cells abort mid-simulation (fn receives
+// ctx; Simulate's core polls it), and every cell that did not complete gets
+// the cancellation cause as its Err. Cells that completed before the
+// cancel keep their results — with a Checkpoint configured they are
+// already recorded, so a canceled sweep is resumable.
+func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, Cell) (*stats.Run, error)) []Result {
 	results := make([]Result, len(cells))
+	done := make([]bool, len(cells))
 	prog := Progress{Total: len(cells)}
 
 	report := func(i int) {
+		done[i] = true
 		prog.Done++
 		if results[i].Err != nil {
 			prog.Failed++
@@ -69,6 +84,9 @@ func (p *Pool) Run(cells []Cell, fn func(Cell) (*stats.Run, error)) []Result {
 			prog.Cell, prog.CellErr = results[i].Cell, results[i].Err
 			prog.CellCached, prog.Elapsed = results[i].Cached, results[i].Elapsed
 			p.OnProgress(prog)
+		}
+		if p.OnResult != nil {
+			p.OnResult(results[i])
 		}
 	}
 
@@ -111,7 +129,7 @@ func (p *Pool) Run(cells []Cell, fn func(Cell) (*stats.Run, error)) []Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				idx, ok := deques[w].popFront()
 				if !ok {
 					idx, ok = steal(deques, w)
@@ -119,7 +137,7 @@ func (p *Pool) Run(cells []Cell, fn func(Cell) (*stats.Run, error)) []Result {
 				if !ok {
 					return
 				}
-				results[idx] = p.runCell(cells[idx], fn)
+				results[idx] = p.runCell(ctx, cells[idx], fn)
 				finished <- idx
 			}
 		}(w)
@@ -129,21 +147,37 @@ func (p *Pool) Run(cells []Cell, fn func(Cell) (*stats.Run, error)) []Result {
 		close(finished)
 	}()
 
-	// Single collector: progress callbacks and checkpoint records happen
-	// here, in completion order; result slots were already written by the
-	// workers at their deterministic indices.
+	// Single collector: progress callbacks, result streaming, and
+	// checkpoint records happen here, in completion order; result slots
+	// were already written by the workers at their deterministic indices.
 	for idx := range finished {
 		if r := &results[idx]; r.Err == nil && p.Checkpoint != nil {
 			p.Checkpoint.Record(r.Cell, r.Run)
 		}
 		report(idx)
 	}
+
+	// On cancellation, cells never claimed (or claimed but aborted without
+	// reaching the collector) fail with the cancellation cause so callers
+	// can distinguish "canceled" from "never attempted" silently-zero
+	// results. They are not streamed or counted as progress: the sweep did
+	// not finish them.
+	if ctx.Err() != nil {
+		cause := context.Cause(ctx)
+		for i := range results {
+			if !done[i] {
+				if results[i].Err == nil {
+					results[i] = Result{Cell: cells[i], Err: fmt.Errorf("cell %s: %w", cells[i], cause)}
+				}
+			}
+		}
+	}
 	return results
 }
 
 // runCell executes one cell in a child goroutine so that panics and
 // timeouts are contained to the cell.
-func (p *Pool) runCell(cell Cell, fn func(Cell) (*stats.Run, error)) Result {
+func (p *Pool) runCell(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error)) Result {
 	start := time.Now()
 	ch := make(chan Result, 1)
 	go func() {
@@ -152,7 +186,7 @@ func (p *Pool) runCell(cell Cell, fn func(Cell) (*stats.Run, error)) Result {
 				ch <- Result{Cell: cell, Err: fmt.Errorf("cell %s panicked: %v\n%s", cell, pv, debug.Stack())}
 			}
 		}()
-		run, err := fn(cell)
+		run, err := fn(ctx, cell)
 		if err != nil {
 			err = fmt.Errorf("cell %s: %w", cell, err)
 		}

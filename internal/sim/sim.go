@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -90,9 +91,11 @@ func splitmix64(x uint64) uint64 {
 
 // Simulate runs one cell to completion: it resolves the workload profile,
 // derives the cell seed, builds a core with the cell's configuration, and
-// executes warmup+measure µ-ops. It is the production cell function handed
-// to Pool.Run by internal/experiments.
-func Simulate(cell Cell, warmup, measure int64) (*stats.Run, error) {
+// executes warmup+measure µ-ops. A canceled context aborts the cell
+// mid-simulation (the core polls it) and returns the cancellation cause.
+// It is the production cell function handed to Pool.Run by
+// internal/experiments.
+func Simulate(ctx context.Context, cell Cell, warmup, measure int64) (*stats.Run, error) {
 	p, err := trace.ByName(cell.Workload)
 	if err != nil {
 		return nil, err
@@ -103,7 +106,7 @@ func Simulate(cell Cell, warmup, measure int64) (*stats.Run, error) {
 		return nil, err
 	}
 	c.SetWorkloadName(cell.Workload)
-	return c.Run(warmup, measure), nil
+	return c.RunContext(ctx, warmup, measure)
 }
 
 // Fingerprint summarizes the sweep-wide options that determine a cell's

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -43,11 +45,14 @@ func fakeRun(c Cell) (*stats.Run, error) {
 	}, nil
 }
 
+// fakeCell adapts fakeRun to the context-threaded pool signature.
+func fakeCell(_ context.Context, c Cell) (*stats.Run, error) { return fakeRun(c) }
+
 func TestPoolResultsInCellOrder(t *testing.T) {
 	cells := testGrid(t, []string{"Baseline_0", "SpecSched_4"}, []string{"gzip", "mcf", "swim"}, 2)
 	for _, jobs := range []int{1, 3, 8, 32} {
 		p := &Pool{Jobs: jobs}
-		results := p.Run(cells, fakeRun)
+		results := p.Run(context.Background(), cells, fakeCell)
 		if len(results) != len(cells) {
 			t.Fatalf("jobs=%d: %d results for %d cells", jobs, len(results), len(cells))
 		}
@@ -70,7 +75,7 @@ func TestPoolProgressAccounting(t *testing.T) {
 	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf"}, 3)
 	var events []Progress
 	p := &Pool{Jobs: 4, OnProgress: func(pr Progress) { events = append(events, pr) }}
-	p.Run(cells, fakeRun)
+	p.Run(context.Background(), cells, fakeCell)
 	if len(events) != len(cells) {
 		t.Fatalf("%d progress events for %d cells", len(events), len(cells))
 	}
@@ -83,7 +88,7 @@ func TestPoolProgressAccounting(t *testing.T) {
 func TestPoolPanicIsolation(t *testing.T) {
 	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf", "swim", "art"}, 1)
 	p := &Pool{Jobs: 4}
-	results := p.Run(cells, func(c Cell) (*stats.Run, error) {
+	results := p.Run(context.Background(), cells, func(_ context.Context, c Cell) (*stats.Run, error) {
 		if c.Workload == "mcf" {
 			panic("diverging configuration")
 		}
@@ -112,7 +117,7 @@ func TestPoolPanicIsolation(t *testing.T) {
 func TestPoolCellTimeout(t *testing.T) {
 	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf", "swim"}, 1)
 	p := &Pool{Jobs: 3, CellTimeout: 20 * time.Millisecond}
-	results := p.Run(cells, func(c Cell) (*stats.Run, error) {
+	results := p.Run(context.Background(), cells, func(_ context.Context, c Cell) (*stats.Run, error) {
 		if c.Workload == "swim" {
 			time.Sleep(2 * time.Second) // a "diverging" cell
 		}
@@ -156,7 +161,7 @@ func TestSimulateMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Simulate(Cell{Config: cfg, Workload: "gzip"}, 2000, 8000)
+	got, err := Simulate(context.Background(), Cell{Config: cfg, Workload: "gzip"}, 2000, 8000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +187,11 @@ func TestSeedReplicasDiffer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r0, err := Simulate(Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 1000, 5000)
+	r0, err := Simulate(context.Background(), Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 1000, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := Simulate(Cell{Config: cfg, Workload: "gzip", SeedIdx: 1}, 1000, 5000)
+	r1, err := Simulate(context.Background(), Cell{Config: cfg, Workload: "gzip", SeedIdx: 1}, 1000, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,8 +210,8 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var simulated atomic.Int64
-	run := func(c Cell) (*stats.Run, error) { simulated.Add(1); return fakeRun(c) }
-	first := (&Pool{Jobs: 4, Checkpoint: cp}).Run(cells, run)
+	run := func(_ context.Context, c Cell) (*stats.Run, error) { simulated.Add(1); return fakeRun(c) }
+	first := (&Pool{Jobs: 4, Checkpoint: cp}).Run(context.Background(), cells, run)
 	if err := cp.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +228,7 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 		t.Fatalf("reloaded checkpoint has %d cells, want %d", cp2.Len(), len(cells))
 	}
 	simulated.Store(0)
-	second := (&Pool{Jobs: 4, Checkpoint: cp2}).Run(cells, run)
+	second := (&Pool{Jobs: 4, Checkpoint: cp2}).Run(context.Background(), cells, run)
 	if simulated.Load() != 0 {
 		t.Fatalf("resume re-simulated %d cells", simulated.Load())
 	}
@@ -244,7 +249,7 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	simulated.Store(0)
-	(&Pool{Jobs: 2, Checkpoint: cp3}).Run(more, run)
+	(&Pool{Jobs: 2, Checkpoint: cp3}).Run(context.Background(), more, run)
 	if simulated.Load() != 1 {
 		t.Fatalf("extension simulated %d cells, want 1", simulated.Load())
 	}
@@ -306,5 +311,111 @@ func TestStealTakesFromVictimBack(t *testing.T) {
 	}
 	if n := len(deques[1].items); n != 2 {
 		t.Fatalf("victim deque has %d items after steal, want 2", n)
+	}
+}
+
+// TestPoolCancellation: canceling the sweep context must stop the pool
+// promptly, keep results completed before the cancel, fail the rest with
+// the cancellation cause, and leave completed cells in the checkpoint so
+// the sweep is resumable.
+func TestPoolCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := LoadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testGrid(t, []string{"Baseline_0"}, []string{"gzip", "mcf", "swim", "art", "vpr", "gcc"}, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	p := &Pool{Jobs: 2, Checkpoint: cp}
+	resultsCh := make(chan []Result, 1)
+	go func() {
+		resultsCh <- p.Run(ctx, cells, func(ctx context.Context, c Cell) (*stats.Run, error) {
+			if started.Add(1) > 2 {
+				// Workers should never reach a third cell after cancel.
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			<-release // hold the first two cells until the test cancels
+			return fakeRun(c)
+		})
+	}()
+
+	// Let both workers claim a cell, then cancel and release them.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+
+	var results []Result
+	select {
+	case results = <-resultsCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not return after cancel")
+	}
+
+	var completed, canceled int
+	for _, res := range results {
+		switch {
+		case res.Err == nil && res.Run != nil:
+			completed++
+		case res.Err != nil && errors.Is(res.Err, context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("cell %s: unexpected outcome (run=%v err=%v)", res.Cell, res.Run, res.Err)
+		}
+	}
+	if completed != 2 || completed+canceled != len(cells) {
+		t.Fatalf("completed=%d canceled=%d of %d cells, want 2 completed and the rest canceled",
+			completed, canceled, len(cells))
+	}
+	if err := cp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := LoadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Len() != completed {
+		t.Fatalf("checkpoint holds %d cells after cancel, want %d", cp2.Len(), completed)
+	}
+}
+
+// TestPoolOnResultStreams: every finished cell (fresh and cached) must be
+// delivered to OnResult exactly once, with its Run attached.
+func TestPoolOnResultStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := LoadCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testGrid(t, []string{"Baseline_0", "SpecSched_4"}, []string{"gzip", "mcf"}, 2)
+	(&Pool{Jobs: 4, Checkpoint: cp}).Run(context.Background(), cells[:4], fakeCell)
+
+	var streamed []Result
+	p := &Pool{Jobs: 4, Checkpoint: cp, OnResult: func(r Result) { streamed = append(streamed, r) }}
+	p.Run(context.Background(), cells, fakeCell)
+	if len(streamed) != len(cells) {
+		t.Fatalf("streamed %d results for %d cells", len(streamed), len(cells))
+	}
+	seen := map[string]bool{}
+	var cached int
+	for _, r := range streamed {
+		if r.Err != nil || r.Run == nil {
+			t.Fatalf("streamed cell %s incomplete: %v", r.Cell, r.Err)
+		}
+		if seen[r.Cell.Key()] {
+			t.Fatalf("cell %s streamed twice", r.Cell)
+		}
+		seen[r.Cell.Key()] = true
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached != 4 {
+		t.Fatalf("streamed %d cached cells, want 4", cached)
 	}
 }

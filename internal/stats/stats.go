@@ -9,11 +9,10 @@
 package stats
 
 import (
-	"fmt"
-	"math"
 	"reflect"
 	"sort"
-	"strings"
+
+	"specsched/results"
 )
 
 // Run holds the counters of a single simulation run.
@@ -164,19 +163,7 @@ func (r *Run) L1MissRate() float64 {
 
 // GMean returns the geometric mean of xs. Non-positive entries are skipped;
 // an empty input yields 0.
-func GMean(xs []float64) float64 {
-	sum, n := 0.0, 0
-	for _, x := range xs {
-		if x > 0 {
-			sum += math.Log(x)
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return math.Exp(sum / float64(n))
-}
+func GMean(xs []float64) float64 { return results.GMean(xs) }
 
 // Speedup returns r's IPC relative to base's IPC.
 func Speedup(r, base *Run) float64 {
@@ -267,77 +254,14 @@ func (s *Set) ReductionVs(config, baseCfg string, fn func(*Run) int64) float64 {
 	return 1 - float64(s.SumField(config, fn))/float64(b)
 }
 
-// Table renders a fixed-width text table. Rows and columns are given as
-// label + value-extractor pairs by the caller.
-type Table struct {
-	Title  string
-	Header []string
-	rows   [][]string
-	widths []int
-}
+// Table is the fixed-width report table, now maintained in the public
+// specsched/results package (the façade exposes it to embedders); these
+// aliases keep the historical internal spelling working.
+type Table = results.Table
 
 // NewTable creates a table with the given title and column headers.
 func NewTable(title string, header ...string) *Table {
-	t := &Table{Title: title, Header: header, widths: make([]int, len(header))}
-	for i, h := range header {
-		t.widths[i] = len(h)
-	}
-	return t
-}
-
-// AddRow appends a row of cells; missing cells render empty.
-func (t *Table) AddRow(cells ...string) {
-	for len(cells) < len(t.Header) {
-		cells = append(cells, "")
-	}
-	for i, c := range cells {
-		if i < len(t.widths) && len(c) > t.widths[i] {
-			t.widths[i] = len(c)
-		}
-	}
-	t.rows = append(t.rows, cells)
-}
-
-// AddRowf appends a row formatting each value with %v, floats with prec
-// decimal places.
-func (t *Table) AddRowf(prec int, cells ...interface{}) {
-	out := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			out[i] = fmt.Sprintf("%.*f", prec, v)
-		default:
-			out[i] = fmt.Sprint(v)
-		}
-	}
-	t.AddRow(out...)
-}
-
-// String renders the table.
-func (t *Table) String() string {
-	var b strings.Builder
-	if t.Title != "" {
-		fmt.Fprintf(&b, "== %s ==\n", t.Title)
-	}
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", t.widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Header)
-	sep := make([]string, len(t.Header))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", t.widths[i])
-	}
-	writeRow(sep)
-	for _, r := range t.rows {
-		writeRow(r)
-	}
-	return b.String()
+	return results.NewTable(title, header...)
 }
 
 // SortedKeys returns the keys of a string-keyed map in sorted order; a small

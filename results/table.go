@@ -1,0 +1,79 @@
+package results
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a fixed-width text table — the formatting behind every
+// report the repository regenerates from the paper.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+	widths []int
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, Header: header, widths: make([]int, len(header))}
+	for i, h := range header {
+		t.widths[i] = len(h)
+	}
+	return t
+}
+
+// AddRow appends a row of cells; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	for i, c := range cells {
+		if i < len(t.widths) && len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v, floats with prec
+// decimal places.
+func (t *Table) AddRowf(prec int, cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.*f", prec, v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", t.widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", t.widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package specsched
+
+import (
+	"context"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/core"
+	"specsched/results"
+)
+
+// Default simulation window (µ-ops). The paper simulates 50M warmup + 100M
+// measured instructions per run; these defaults are scaled down ~1000x so
+// an interactive run completes in well under a second.
+const (
+	DefaultWarmup  int64 = 10000
+	DefaultMeasure int64 = 60000
+)
+
+// Simulator runs one workload on one machine configuration. Construct it
+// with NewSimulator and functional options, then call Run; a Simulator is
+// a reusable description, so calling Run again repeats the identical
+// simulation from a fresh core.
+type Simulator struct {
+	preset    string
+	workload  Workload
+	warmup    int64
+	measure   int64
+	seed      uint64
+	seedSet   bool
+	scheduler Scheduler
+	timeSkip  *bool
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithPreset selects the machine configuration by preset name (see the
+// specsched/presets package). Default: the paper's central SpecSched_4.
+func WithPreset(name string) Option { return func(s *Simulator) { s.preset = name } }
+
+// WithWorkload selects a Table 2 benchmark by name — shorthand for
+// WithWorkloadSpec(WorkloadByName(name)).
+func WithWorkload(name string) Option {
+	return func(s *Simulator) { s.workload = WorkloadByName(name) }
+}
+
+// WithWorkloadSpec selects any workload: named, custom profile, or kernel.
+func WithWorkloadSpec(w Workload) Option { return func(s *Simulator) { s.workload = w } }
+
+// WithWarmup sets the number of µ-ops committed (cache- and
+// predictor-warming) before the measurement window opens.
+func WithWarmup(uops int64) Option { return func(s *Simulator) { s.warmup = uops } }
+
+// WithMeasure sets the measurement window length in committed µ-ops.
+func WithMeasure(uops int64) Option { return func(s *Simulator) { s.measure = uops } }
+
+// WithSeed overrides the workload's RNG seed (named profiles default to
+// their calibrated seed, kernels to a fixed one). Two runs of the same
+// workload and seed are bit-identical; different seeds give decorrelated
+// but statistically alike programs.
+func WithSeed(seed uint64) Option {
+	return func(s *Simulator) { s.seed, s.seedSet = seed, true }
+}
+
+// WithScheduler selects the simulator-side wakeup/select implementation.
+// Results are bit-identical across implementations; only speed differs.
+func WithScheduler(impl Scheduler) Option { return func(s *Simulator) { s.scheduler = impl } }
+
+// WithTimeSkip toggles quiescent-cycle skipping (default on; ignored by the
+// scan scheduler). Results are bit-identical either way.
+func WithTimeSkip(on bool) Option { return func(s *Simulator) { s.timeSkip = &on } }
+
+// NewSimulator builds a simulator description. Options are validated at
+// Run, so construction never fails.
+func NewSimulator(opts ...Option) *Simulator {
+	s := &Simulator{preset: "SpecSched_4", warmup: DefaultWarmup, measure: DefaultMeasure}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// resolveConfig maps the preset name and scheduler/time-skip overrides to a
+// validated internal configuration.
+func (s *Simulator) resolveConfig() (config.CoreConfig, error) {
+	cfg, err := config.Preset(s.preset)
+	if err != nil {
+		return config.CoreConfig{}, wrapErr(ErrInvalidConfig, err)
+	}
+	impl, err := s.scheduler.impl()
+	if err != nil {
+		return config.CoreConfig{}, err
+	}
+	cfg.Scheduler = impl
+	if s.timeSkip != nil {
+		cfg.TimeSkip = *s.timeSkip
+	}
+	return cfg, nil
+}
+
+// Run executes the simulation: it builds a fresh core, commits the warmup
+// window, then measures. The returned Run carries the measurement window's
+// counters and the wall-clock time the measurement took (Elapsed excludes
+// construction and warmup, making it a clean throughput denominator).
+//
+// Cancellation: the core polls ctx every few thousand simulated cycles;
+// a canceled run returns promptly with an error matching ErrCanceled (and
+// context.Canceled / context.DeadlineExceeded as appropriate).
+func (s *Simulator) Run(ctx context.Context) (results.Run, error) {
+	cfg, err := s.resolveConfig()
+	if err != nil {
+		return results.Run{}, err
+	}
+	if s.workload.build == nil {
+		return results.Run{}, wrapErrf(ErrUnknownWorkload,
+			"specsched: no workload selected (use WithWorkload or WithWorkloadSpec)")
+	}
+	stream, wpSeed, err := s.workload.build(s.seed, s.seedSet)
+	if err != nil {
+		return results.Run{}, err
+	}
+	c, err := core.New(cfg, stream, wpSeed)
+	if err != nil {
+		return results.Run{}, wrapErr(ErrInvalidConfig, err)
+	}
+	c.SetWorkloadName(s.workload.name)
+
+	if _, err := c.RunContext(ctx, s.warmup, 0); err != nil {
+		return results.Run{}, mapCtxErr(err)
+	}
+	start := time.Now()
+	r, err := c.RunContext(ctx, 0, s.measure)
+	if err != nil {
+		return results.Run{}, mapCtxErr(err)
+	}
+	return runFromStatsElapsed(r, time.Since(start)), nil
+}

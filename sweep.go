@@ -1,0 +1,460 @@
+package specsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sort"
+	"sync"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/experiments"
+	"specsched/internal/sim"
+	"specsched/internal/stats"
+	"specsched/results"
+)
+
+// CellRef names one cell of a sweep grid: a configuration preset, a
+// workload, and a seed-replica index (0 is the workload's calibrated
+// seed; higher indices are decorrelated replicas).
+type CellRef struct {
+	Config   string
+	Workload string
+	Seed     int
+}
+
+func (c CellRef) String() string {
+	return fmt.Sprintf("%s/%s#%d", c.Config, c.Workload, c.Seed)
+}
+
+// Cell is one finished cell of a sweep: its coordinates plus either a
+// populated Run or an Err (simulation failure, panic, timeout, or
+// cancellation). Cached marks cells satisfied from a resume checkpoint
+// without simulating.
+type Cell struct {
+	CellRef
+	Run    results.Run
+	Err    error
+	Cached bool
+}
+
+// Progress is a sweep progress snapshot delivered after every finished
+// cell (checkpoint-satisfied cells included).
+type Progress struct {
+	Done   int // cells finished so far (failed and cached included)
+	Total  int // cells in the sweep
+	Failed int // cells that errored, panicked, or timed out
+	Cached int // cells satisfied from the resume checkpoint
+	// Cell is the cell that just finished, Err its failure (nil if it
+	// succeeded), Elapsed the wall clock it took (0 if cached).
+	Cell    CellRef
+	Err     error
+	IsCache bool
+	Elapsed time.Duration
+}
+
+// Sweep runs a (configuration × workload × seed) grid on a work-stealing
+// worker pool with per-cell failure isolation, deterministic merging, and
+// resumable checkpoints. Construct it with NewSweep and functional
+// options; consume it either all-at-once (Run) or streaming (Results).
+// The same Sweep also serves the paper's named experiment reports
+// (Report), sharing its simulation cache across reports.
+//
+// Determinism: for a fixed option set, Run's output — and the set of cells
+// Results streams — is bit-identical regardless of worker count or
+// completion order.
+type Sweep struct {
+	configs     []string
+	workloads   []string
+	seeds       int
+	jobs        int
+	warmup      int64
+	measure     int64
+	scheduler   Scheduler
+	timeSkip    *bool
+	checkpoint  string
+	cellTimeout time.Duration
+	onProgress  func(Progress)
+
+	mu        sync.Mutex
+	runner    *experiments.Runner // lazy; backs Report
+	simulated int64               // µ-ops simulated by raw-grid runs (Run/Results)
+}
+
+// SweepOption configures a Sweep.
+type SweepOption func(*Sweep)
+
+// SweepConfigs sets the configuration presets of the grid (required for
+// Run and Results; ignored by Report, whose experiments pick their own).
+func SweepConfigs(names ...string) SweepOption {
+	return func(s *Sweep) { s.configs = append([]string(nil), names...) }
+}
+
+// SweepWorkloads restricts the workload axis (default: the full Table 2
+// suite).
+func SweepWorkloads(names ...string) SweepOption {
+	return func(s *Sweep) { s.workloads = append([]string(nil), names...) }
+}
+
+// SweepSeeds sets the number of seed replicas per (config, workload) cell
+// (default 1: the calibrated profile seed).
+func SweepSeeds(n int) SweepOption { return func(s *Sweep) { s.seeds = n } }
+
+// SweepJobs bounds the worker goroutines (default: GOMAXPROCS).
+func SweepJobs(n int) SweepOption { return func(s *Sweep) { s.jobs = n } }
+
+// SweepWarmup sets the per-cell warmup window in µ-ops.
+func SweepWarmup(uops int64) SweepOption { return func(s *Sweep) { s.warmup = uops } }
+
+// SweepMeasure sets the per-cell measurement window in µ-ops.
+func SweepMeasure(uops int64) SweepOption { return func(s *Sweep) { s.measure = uops } }
+
+// SweepScheduler selects the simulator-side wakeup/select implementation
+// for every cell (results are bit-identical; speed differs).
+func SweepScheduler(impl Scheduler) SweepOption { return func(s *Sweep) { s.scheduler = impl } }
+
+// SweepTimeSkip toggles quiescent-cycle skipping for every cell (default
+// on; bit-identical either way).
+func SweepTimeSkip(on bool) SweepOption { return func(s *Sweep) { s.timeSkip = &on } }
+
+// SweepCheckpoint names a resumable checkpoint file: completed cells are
+// recorded there (flushed periodically and on completion or cancellation)
+// and a restarted sweep with the same options skips them. A file written
+// under different sweep options is rejected, not silently merged.
+func SweepCheckpoint(path string) SweepOption { return func(s *Sweep) { s.checkpoint = path } }
+
+// SweepCellTimeout bounds one cell's wall-clock time (0 = unbounded); a
+// timed-out cell fails alone and the sweep continues.
+func SweepCellTimeout(d time.Duration) SweepOption { return func(s *Sweep) { s.cellTimeout = d } }
+
+// SweepProgress installs a progress callback, invoked after every finished
+// cell from a single goroutine.
+func SweepProgress(fn func(Progress)) SweepOption { return func(s *Sweep) { s.onProgress = fn } }
+
+// NewSweep builds a sweep description. Options are validated when the
+// sweep runs, so construction never fails.
+func NewSweep(opts ...SweepOption) *Sweep {
+	s := &Sweep{seeds: 1, warmup: DefaultWarmup, measure: DefaultMeasure}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// grid validates the sweep options and expands them into the cell grid, in
+// deterministic grid order (configs outermost, then workloads, then seeds).
+func (s *Sweep) grid() ([]sim.Cell, error) {
+	if len(s.configs) == 0 {
+		return nil, wrapErrf(ErrInvalidConfig,
+			"specsched: sweep has no configurations (use SweepConfigs)")
+	}
+	impl, err := s.scheduler.impl()
+	if err != nil {
+		return nil, err
+	}
+	wls := s.workloads
+	if len(wls) == 0 {
+		wls = WorkloadNames()
+	}
+	if err := validateWorkloads(wls); err != nil {
+		return nil, err
+	}
+	seeds := s.seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	cells := make([]sim.Cell, 0, len(s.configs)*len(wls)*seeds)
+	for _, cn := range s.configs {
+		cfg, err := config.Preset(cn)
+		if err != nil {
+			return nil, wrapErr(ErrInvalidConfig, err)
+		}
+		cfg.Scheduler = impl
+		if s.timeSkip != nil {
+			cfg.TimeSkip = *s.timeSkip
+		}
+		for _, wl := range wls {
+			for i := 0; i < seeds; i++ {
+				cells = append(cells, sim.Cell{Config: cfg, Workload: wl, SeedIdx: i})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// runPool executes the cells on the work-stealing pool, streaming each
+// finished cell to onResult (which may be nil), recording completions into
+// the checkpoint, and flushing it before returning — including on
+// cancellation, which is what keeps an interrupted sweep resumable.
+func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, onResult func(sim.Result)) ([]sim.Result, error) {
+	var cp *sim.Checkpoint
+	if s.checkpoint != "" {
+		impl, _ := s.scheduler.impl()
+		var err error
+		cp, err = sim.LoadCheckpoint(s.checkpoint, sim.Fingerprint(s.warmup, s.measure, impl))
+		if err != nil {
+			return nil, wrapErr(ErrInvalidConfig, err)
+		}
+	}
+	pool := &sim.Pool{
+		Jobs:        s.jobs,
+		CellTimeout: s.cellTimeout,
+		Checkpoint:  cp,
+		OnResult:    onResult,
+	}
+	pool.OnProgress = s.progressAdapter()
+	res := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
+		return sim.Simulate(ctx, c, s.warmup, s.measure)
+	})
+
+	var executed int64
+	var failures int
+	for _, r := range res {
+		if r.Err == nil && !r.Cached {
+			executed += s.warmup + s.measure
+		}
+		if r.Err != nil {
+			failures++
+		}
+	}
+	s.mu.Lock()
+	s.simulated += executed
+	s.mu.Unlock()
+
+	var flushErr error
+	if cp != nil {
+		// Flush even (especially) on cancellation: the completed cells are
+		// what makes the interrupted sweep resumable.
+		flushErr = cp.Flush()
+	}
+	switch {
+	case ctx.Err() != nil:
+		cause := context.Cause(ctx)
+		if flushErr != nil {
+			// Surface both: the caller needs to know the checkpoint did NOT
+			// capture the completed cells despite the cancel-flush contract.
+			cause = errors.Join(cause, flushErr)
+		}
+		return res, wrapErr(ErrCanceled,
+			fmt.Errorf("specsched: sweep interrupted after %d/%d cells: %w",
+				len(cells)-failures, len(cells), cause))
+	case flushErr != nil:
+		return res, flushErr
+	case failures > 0:
+		return res, fmt.Errorf("specsched: %d/%d sweep cells failed (inspect per-cell errors): %w",
+			failures, len(cells), errCellsFailed)
+	}
+	return res, nil
+}
+
+// progressAdapter bridges the internal pool progress callback to the
+// sweep's public one (nil if no callback is installed).
+func (s *Sweep) progressAdapter() func(sim.Progress) {
+	if s.onProgress == nil {
+		return nil
+	}
+	fn := s.onProgress
+	return func(p sim.Progress) {
+		fn(Progress{
+			Done: p.Done, Total: p.Total, Failed: p.Failed, Cached: p.Cached,
+			Cell:    CellRef{Config: p.Cell.Config.Name, Workload: p.Cell.Workload, Seed: p.Cell.SeedIdx},
+			Err:     mapCtxErr(p.CellErr),
+			IsCache: p.CellCached,
+			Elapsed: time.Duration(p.Elapsed * float64(time.Second)),
+		})
+	}
+}
+
+// toCell converts an internal pool result to the public cell record.
+func toCell(r sim.Result) Cell {
+	c := Cell{
+		CellRef: CellRef{Config: r.Cell.Config.Name, Workload: r.Cell.Workload, Seed: r.Cell.SeedIdx},
+		Err:     mapCtxErr(r.Err),
+		Cached:  r.Cached,
+	}
+	if r.Run != nil {
+		c.Run = runFromStatsElapsed(r.Run, time.Duration(r.Elapsed*float64(time.Second)))
+	}
+	return c
+}
+
+// Run executes the whole grid and returns every cell in deterministic grid
+// order (configs, then workloads, then seed indices — the order the
+// options declared them). A failing cell carries its error in Cell.Err and
+// never aborts the sweep; the returned error is non-nil if any cell failed
+// or the context was canceled (matching ErrCanceled, with the completed
+// cells still present in the slice and, if configured, the checkpoint).
+func (s *Sweep) Run(ctx context.Context) ([]Cell, error) {
+	cells, err := s.grid()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runPool(ctx, cells, nil)
+	if res == nil {
+		return nil, err
+	}
+	out := make([]Cell, len(res))
+	for i, r := range res {
+		out[i] = toCell(r)
+	}
+	return out, err
+}
+
+// Results streams the sweep: it starts the grid in the background and
+// yields each cell as it completes (checkpoint-satisfied cells first, then
+// fresh completions in finish order). The second element of each pair is
+// that cell's error — per-cell failures stream inline and do not stop the
+// sweep. Breaking out of the iteration cancels the remaining work. If the
+// sweep stops early (context canceled, invalid options), one final pair
+// with a zero Cell and the terminal error is yielded.
+//
+// The streamed cells are exactly the cells Run would return — same
+// coordinates, bit-identical counters — only the order differs.
+func (s *Sweep) Results(ctx context.Context) iter.Seq2[Cell, error] {
+	return func(yield func(Cell, error) bool) {
+		cells, err := s.grid()
+		if err != nil {
+			yield(Cell{}, err)
+			return
+		}
+		inner, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		// Buffered to the grid size: the pool's collector never blocks on a
+		// slow — or abandoned — consumer, so breaking out of the iteration
+		// can never strand the sweep goroutine.
+		ch := make(chan sim.Result, len(cells))
+		errc := make(chan error, 1)
+		go func() {
+			defer close(ch)
+			_, err := s.runPool(inner, cells, func(r sim.Result) { ch <- r })
+			errc <- err
+		}()
+
+		stopped := false
+		for r := range ch {
+			if stopped {
+				continue // drain so the pool's collector can finish
+			}
+			if !yield(toCell(r), mapCtxErr(r.Err)) {
+				stopped = true
+				cancel()
+			}
+		}
+		if err := <-errc; err != nil && !stopped {
+			// Cell-level failures were already streamed inline (the
+			// errCellsFailed aggregate adds nothing); only a terminal
+			// condition (cancellation, checkpoint failure) warrants a final
+			// error element.
+			if !errors.Is(err, errCellsFailed) {
+				yield(Cell{}, mapCtxErr(err))
+			}
+		}
+	}
+}
+
+// errCellsFailed marks the aggregate "N cells failed" sweep error, whose
+// per-cell causes are carried by the cells themselves.
+var errCellsFailed = errors.New("sweep cells failed")
+
+// Reports lists the named experiment reports Report understands — the
+// paper's tables and figures (table1, table2, fig3..fig8, delays, summary)
+// plus the repository's ablation studies.
+func Reports() []string { return experiments.Names() }
+
+// Report regenerates one named experiment report (see Reports), running
+// whatever cells of its grid are not already cached or checkpointed. The
+// sweep's workload/seed/jobs/checkpoint/scheduler options apply; its
+// configuration list does not (each experiment prescribes its own
+// configurations). Reports called on the same Sweep share a simulation
+// cache, so figures that share configurations (every figure needs the
+// Baseline_0 runs) pay for them once.
+func (s *Sweep) Report(ctx context.Context, name string) (string, error) {
+	r, err := s.reportRunner()
+	if err != nil {
+		return "", err
+	}
+	out, err := r.Run(ctx, name)
+	return out, mapCtxErr(err)
+}
+
+// reportRunner lazily builds the experiments runner backing Report.
+func (s *Sweep) reportRunner() (*experiments.Runner, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runner != nil {
+		return s.runner, nil
+	}
+	impl, err := s.scheduler.impl()
+	if err != nil {
+		return nil, err
+	}
+	wls := s.workloads
+	if len(wls) == 0 {
+		wls = WorkloadNames()
+	}
+	if err := validateWorkloads(wls); err != nil {
+		return nil, err
+	}
+	opts := experiments.Options{
+		Warmup:      s.warmup,
+		Measure:     s.measure,
+		Workloads:   wls,
+		Parallel:    s.jobs,
+		Seeds:       s.seeds,
+		Scheduler:   impl,
+		CellTimeout: s.cellTimeout,
+		Checkpoint:  s.checkpoint,
+	}
+	if s.timeSkip != nil {
+		opts.DisableTimeSkip = !*s.timeSkip
+	}
+	opts.OnProgress = s.progressAdapter()
+	s.runner = experiments.NewRunner(opts)
+	return s.runner, nil
+}
+
+// Snapshot returns every pooled (config, workload) run the sweep's report
+// runner has produced so far, in deterministic sorted order — the payload
+// behind cmd/experiments -json. Raw-grid runs (Run/Results) are not
+// included; they are returned directly by those methods.
+func (s *Sweep) Snapshot() []results.Run {
+	s.mu.Lock()
+	r := s.runner
+	s.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	set := r.Snapshot()
+	var out []results.Run
+	for _, cn := range set.Configs() {
+		for _, wl := range set.Workloads() {
+			if run := set.Get(cn, wl); run != nil {
+				out = append(out, runFromStats(run))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Config != out[j].Config {
+			return out[i].Config < out[j].Config
+		}
+		return out[i].Workload < out[j].Workload
+	})
+	return out
+}
+
+// SimulatedUOps returns the total µ-ops simulated by this sweep so far
+// (warmup included; checkpoint-cached cells excluded), across raw-grid
+// runs and experiment reports — the numerator of throughput reporting.
+func (s *Sweep) SimulatedUOps() int64 {
+	s.mu.Lock()
+	n := s.simulated
+	r := s.runner
+	s.mu.Unlock()
+	if r != nil {
+		n += r.SimulatedUOps()
+	}
+	return n
+}
