@@ -58,3 +58,21 @@ func TestGateEventThroughput(t *testing.T) {
 		t.Error("missing baseline table2 comparison must fail the gate")
 	}
 }
+
+func TestFindComparison(t *testing.T) {
+	list := []comparison{
+		{Name: "table2", EventMinsts: 2},
+		{Name: "tracereplay", EventMinsts: 3},
+	}
+	if got := findComparison(list, "tracereplay"); got.EventMinsts != 3 {
+		t.Errorf("findComparison(tracereplay) = %+v", got)
+	}
+	if got := findComparison(list, "iq256"); got.Name != "" {
+		t.Errorf("missing point should return zero comparison, got %+v", got)
+	}
+	// The gate list must keep table2 first: it is the one point every
+	// baseline carries, and the only one whose absence fails the gate.
+	if gatedComparisons[0] != "table2" {
+		t.Errorf("gatedComparisons = %v, want table2 first", gatedComparisons)
+	}
+}

@@ -5,10 +5,12 @@
 //   - every figure-regenerating experiment (table2, fig3..fig8, delays)
 //     under the default event-driven scheduler: wall time, allocations,
 //     and simulation throughput (Minsts/sec);
-//   - the scheduler comparison: Table 2 and the widened IQ=256 point under
-//     both the event-driven and the legacy scan wakeup/select
-//     implementations, interleaved and best-of-N to shave scheduler-
-//     independent machine noise, with the resulting speedup ratios.
+//   - the scheduler comparison: Table 2, the widened IQ=256 point, and a
+//     trace-replay point (libquantum recorded in memory, then replayed
+//     through the internal/traceio decoder) under both the event-driven
+//     and the legacy scan wakeup/select implementations, interleaved and
+//     best-of-N to shave scheduler-independent machine noise, with the
+//     resulting speedup ratios.
 //
 // The whole suite drives the public specsched API (Simulator for the
 // scheduler comparisons, Sweep.Report for the figure runs), so it doubles
@@ -23,14 +25,17 @@
 // -smoke skips the figure sweep for a CI-sized run (the scheduler
 // comparison is kept at the default windows and reps, so it stays
 // like-for-like with committed baselines). -gate compares the run's
-// Table 2 event-mode throughput against a committed baseline file —
-// "auto" selects the highest-numbered BENCH_<n>.json — and exits non-zero
-// on a regression beyond -maxregress; the current scan-mode throughput
-// anchors the comparison so that the gate measures the scheduler, not the
-// speed of the machine CI happened to land on (see gateEventThroughput).
+// Table 2 and trace-replay event-mode throughputs against a committed
+// baseline file — "auto" selects the highest-numbered BENCH_<n>.json —
+// and exits non-zero on a regression beyond -maxregress; the current
+// scan-mode throughput anchors each comparison so that the gate measures
+// the scheduler, not the speed of the machine CI happened to land on (see
+// gateEventThroughput). Baselines recorded before the trace-replay point
+// existed gate on Table 2 alone.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -170,6 +175,47 @@ func table2Comparison(warmup, measure int64, reps int) (comparison, error) {
 	return cmp, nil
 }
 
+// traceReplayComparison measures trace-replay throughput: libquantum —
+// memory-bound, so it exercises quiescent-cycle skipping on the replay
+// path too — is recorded once in memory, then replayed under both
+// scheduler implementations, best of reps. The point guards the trace
+// decoder's place on the simulator's hot path: a decoder regression
+// (allocation creep, lost NextInto fast path) shows up here and nowhere
+// else, because the synthetic-generation points never decode.
+func traceReplayComparison(warmup, measure int64, reps int) (comparison, error) {
+	var buf bytes.Buffer
+	// Slack past the simulation window covers fetch-ahead into the
+	// in-flight window (ROB + frontend) at the moment measurement ends.
+	if err := specsched.WorkloadByName("libquantum").RecordTo(&buf, warmup+measure+16384); err != nil {
+		return comparison{}, err
+	}
+	data := buf.Bytes()
+	cmp := comparison{Name: "tracereplay"}
+	best := map[specsched.Scheduler]float64{}
+	for i := 0; i < reps; i++ {
+		for _, impl := range []specsched.Scheduler{specsched.SchedulerScan, specsched.SchedulerEvent} {
+			r, err := specsched.NewSimulator(
+				specsched.WithPreset(presets.Baseline(0)),
+				specsched.WithWorkloadSpec(specsched.TraceWorkloadReader(bytes.NewReader(data))),
+				specsched.WithWarmup(warmup),
+				specsched.WithMeasure(measure),
+				specsched.WithScheduler(impl),
+			).Run(ctx)
+			if err != nil {
+				return cmp, err
+			}
+			if el := r.Elapsed.Seconds(); best[impl] == 0 || el < best[impl] {
+				best[impl] = el
+			}
+		}
+	}
+	uops := float64(measure)
+	cmp.EventMinsts = uops / best[specsched.SchedulerEvent] / 1e6
+	cmp.ScanMinsts = uops / best[specsched.SchedulerScan] / 1e6
+	cmp.Speedup = best[specsched.SchedulerScan] / best[specsched.SchedulerEvent]
+	return cmp, nil
+}
+
 // iq256Throughput measures steady-state core throughput on the widened
 // window (256-entry IQ) point: a conservative wide machine on a
 // streaming-DRAM workload, where ~100 sleeping IQ entries punish the
@@ -238,13 +284,13 @@ func loadBaseline(path string) (report, error) {
 // human-readable verdict and whether the gate passes.
 func gateEventThroughput(cur, base comparison, maxRegress float64) (string, bool) {
 	if base.EventMinsts <= 0 || base.ScanMinsts <= 0 || cur.ScanMinsts <= 0 {
-		return fmt.Sprintf("gate: unusable throughputs (cur scan %.3f, base event %.3f scan %.3f)",
+		return fmt.Sprintf("unusable throughputs (cur scan %.3f, base event %.3f scan %.3f)",
 			cur.ScanMinsts, base.EventMinsts, base.ScanMinsts), false
 	}
 	machine := cur.ScanMinsts / base.ScanMinsts
 	floor := base.EventMinsts * machine * (1 - maxRegress)
 	verdict := fmt.Sprintf(
-		"gate: event %.3f Minsts/s vs floor %.3f (baseline event %.3f x machine factor %.2f x allowance %.0f%%); speedup %.2fx vs baseline %.2fx",
+		"event %.3f Minsts/s vs floor %.3f (baseline event %.3f x machine factor %.2f x allowance %.0f%%); speedup %.2fx vs baseline %.2fx",
 		cur.EventMinsts, floor, base.EventMinsts, machine, 100*(1-maxRegress),
 		cur.Speedup, base.Speedup)
 	return verdict, cur.EventMinsts >= floor
@@ -347,9 +393,15 @@ func main() {
 			}
 		}
 	}
+	tr, err := traceReplayComparison(*warmup, *measure, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: trace replay comparison: %v\n", err)
+		os.Exit(1)
+	}
 	rep.Scheduler = []comparison{
 		t2,
 		{Name: "iq256", EventMinsts: iqev, ScanMinsts: iqsc, Speedup: iqev / iqsc},
+		tr,
 	}
 	for _, ccmp := range rep.Scheduler {
 		fmt.Printf("%-8s event %6.3f  scan %6.3f  speedup %.2fx\n",
@@ -369,17 +421,40 @@ func main() {
 	fmt.Println("wrote", *out)
 
 	if *gate != "" {
-		baseT2 := comparison{}
-		for _, c := range gateBase.Scheduler {
-			if c.Name == "table2" {
-				baseT2 = c
+		pass := true
+		for _, name := range gatedComparisons {
+			base := findComparison(gateBase.Scheduler, name)
+			cur := findComparison(rep.Scheduler, name)
+			if base.Name == "" && name != "table2" {
+				// Older committed baselines predate this comparison point;
+				// table2 is the one every baseline must carry.
+				fmt.Printf("gate[%s]: baseline %s has no such point, skipping\n", name, gatePath)
+				continue
 			}
+			verdict, ok := gateEventThroughput(cur, base, *maxRegress)
+			fmt.Printf("gate[%s]: %s\n", name, verdict)
+			pass = pass && ok
 		}
-		verdict, ok := gateEventThroughput(t2, baseT2, *maxRegress)
-		fmt.Println(verdict)
-		if !ok {
+		if !pass {
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION against %s\n", gatePath)
 			os.Exit(1)
 		}
 	}
+}
+
+// gatedComparisons are the scheduler-comparison points -gate checks
+// against the baseline: the Table 2 suite (generation path) and trace
+// replay (decode path). Points absent from an older baseline are skipped,
+// except table2, which every baseline carries.
+var gatedComparisons = []string{"table2", "tracereplay"}
+
+// findComparison returns the named comparison, or a zero value whose empty
+// Name marks it missing.
+func findComparison(list []comparison, name string) comparison {
+	for _, c := range list {
+		if c.Name == name {
+			return c
+		}
+	}
+	return comparison{}
 }

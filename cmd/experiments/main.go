@@ -7,8 +7,8 @@
 //
 //	experiments [-exp all|table1,fig5,...] [-list]
 //	            [-measure N] [-warmup N] [-workloads a,b,c] [-filter REGEX]
-//	            [-jobs N] [-seeds N] [-timeout DUR] [-timeskip=false]
-//	            [-resume FILE] [-json FILE] [-progress]
+//	            [-trace GLOB] [-jobs N] [-seeds N] [-timeout DUR]
+//	            [-timeskip=false] [-resume FILE] [-json FILE] [-progress]
 //
 // Each report prints the same rows/series the paper reports, normalized the
 // same way (per-benchmark vs Baseline_0, geometric means); paper reference
@@ -19,6 +19,11 @@
 //	          result (default 1: the calibrated profile seeds)
 //	-filter   regular expression selecting workloads (applied to the
 //	          -workloads list, default the full 36-benchmark suite)
+//	-trace    glob of recorded µ-op traces (see cmd/tracedump) to run the
+//	          experiment grid over, each named by its file stem. Without
+//	          -workloads/-filter the grid runs over the traces alone;
+//	          with them, the traces are appended to the workload axis
+//	          (a trace name shadows the same-named profile)
 //	-timeout  per-cell wall-clock bound; a diverging cell fails alone
 //	-timeskip quiescent-cycle skipping (default true): advance simulated
 //	          time event-to-event over provably dead cycles; results are
@@ -44,8 +49,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -72,6 +79,7 @@ type jsonOptions struct {
 	Seeds     int      `json:"seeds"`
 	Jobs      int      `json:"jobs"`
 	Workloads []string `json:"workloads"`
+	Traces    []string `json:"traces,omitempty"`
 }
 
 type jsonExperiment struct {
@@ -91,6 +99,7 @@ func main() {
 	warmup := flag.Int64("warmup", 10000, "warmup µ-ops per cell")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all 36)")
 	filter := flag.String("filter", "", "regexp selecting workloads (applied after -workloads)")
+	traceGlob := flag.String("trace", "", "glob of recorded µ-op traces to run the grid over")
 	jobs := flag.Int("jobs", 0, "sweep worker goroutines (default: GOMAXPROCS)")
 	seeds := flag.Int("seeds", 1, "seed replicas per (config, workload) cell, pooled")
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
@@ -114,6 +123,23 @@ func main() {
 		return
 	}
 
+	var tracePaths []string
+	if *traceGlob != "" {
+		var err error
+		tracePaths, err = filepath.Glob(*traceGlob)
+		if err != nil {
+			fatalf("bad -trace glob: %v", err)
+		}
+		if len(tracePaths) == 0 {
+			fatalf("-trace %q matches no files", *traceGlob)
+		}
+		sort.Strings(tracePaths)
+	}
+
+	// With -trace and no explicit workload selection, the grid runs over
+	// the traces alone: pass no synthetic workloads and let the sweep's
+	// default (traces only) apply.
+	explicitWls := *workloads != "" || *filter != ""
 	wls := specsched.WorkloadNames()
 	if *workloads != "" {
 		wls = strings.Split(*workloads, ",")
@@ -138,12 +164,20 @@ func main() {
 	opts := []specsched.SweepOption{
 		specsched.SweepWarmup(*warmup),
 		specsched.SweepMeasure(*measure),
-		specsched.SweepWorkloads(wls...),
 		specsched.SweepJobs(*jobs),
 		specsched.SweepSeeds(*seeds),
 		specsched.SweepCellTimeout(*timeout),
 		specsched.SweepCheckpoint(*resume),
 		specsched.SweepTimeSkip(*timeskip),
+	}
+	switch {
+	case len(tracePaths) > 0 && !explicitWls:
+		wls = nil
+	default:
+		opts = append(opts, specsched.SweepWorkloads(wls...))
+	}
+	if len(tracePaths) > 0 {
+		opts = append(opts, specsched.SweepTraces(tracePaths...))
 	}
 	if *progress {
 		opts = append(opts, specsched.SweepProgress(func(p specsched.Progress) {
@@ -175,7 +209,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		Options: jsonOptions{
 			Warmup: *warmup, Measure: *measure,
-			Seeds: *seeds, Jobs: *jobs, Workloads: wls,
+			Seeds: *seeds, Jobs: *jobs, Workloads: wls, Traces: tracePaths,
 		},
 	}
 	// A failed cell must not discard the rest of the sweep: report the
@@ -207,8 +241,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: hint: run with -resume FILE to make interrupted sweeps resumable")
 		}
 	} else {
-		fmt.Printf("(completed in %.1fs, %d µ-ops simulated, %d workloads, %d seeds, jobs=%d)\n",
-			elapsed.Seconds(), sweep.SimulatedUOps(), len(wls), *seeds, effectiveJobs(*jobs))
+		// The sweep owns the effective workload axis (trace names shadow
+		// same-named profiles); report the two inputs rather than
+		// re-deriving the merge here.
+		axis := fmt.Sprintf("%d workloads", len(wls))
+		switch {
+		case len(tracePaths) > 0 && len(wls) == 0:
+			axis = fmt.Sprintf("%d traces", len(tracePaths))
+		case len(tracePaths) > 0:
+			axis = fmt.Sprintf("%d workloads + %d traces", len(wls), len(tracePaths))
+		}
+		fmt.Printf("(completed in %.1fs, %d µ-ops simulated, %s, %d seeds, jobs=%d)\n",
+			elapsed.Seconds(), sweep.SimulatedUOps(), axis, *seeds, effectiveJobs(*jobs))
 	}
 
 	if *jsonOut != "" {

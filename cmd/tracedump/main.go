@@ -1,9 +1,21 @@
-// Command tracedump prints the first µ-ops of a workload's dynamic stream —
-// useful for inspecting what a profile or kernel actually generates.
+// Command tracedump records, inspects, and prints binary µ-op traces (see
+// DESIGN.md §9 for the format).
 //
 // Usage:
 //
-//	tracedump [-workload gzip | -kernel chase|stream|stencil] [-n 50]
+//	tracedump record (-workload NAME | -kernel chase|stream|stencil | -trace FILE)
+//	                 [-n UOPS] -o FILE
+//	tracedump info [-verify] FILE
+//	tracedump cat [-n 50] (FILE | -workload NAME | -kernel NAME)
+//
+// record captures a workload's dynamic stream as a trace file; replaying
+// the file (specsched.TraceWorkload, experiments -trace) reproduces the
+// live workload's statistics bit for bit. Recording from -trace re-records
+// an existing file (default: in full), which must reproduce it byte for
+// byte — the determinism check the CI traces job runs. info prints a
+// trace's self-describing header; -verify additionally decodes the whole
+// body, checking every record against the count and content digest. cat
+// prints µ-ops as text, from a trace file or live from any workload.
 package main
 
 import (
@@ -14,39 +26,151 @@ import (
 	"specsched"
 )
 
-func main() {
-	workload := flag.String("workload", "", "workload profile name")
-	kernel := flag.String("kernel", "", "kernel name: chase, stream, stencil")
-	n := flag.Int("n", 50, "number of µ-ops to print")
-	flag.Parse()
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracedump: "+format+"\n", args...)
+	os.Exit(1)
+}
 
-	var w specsched.Workload
-	switch {
-	case *kernel != "":
-		switch *kernel {
-		case "chase":
-			w = specsched.PointerChaseWorkload(1024)
-		case "stream":
-			w = specsched.StreamWorkload(8 << 10)
-		case "stencil":
-			w = specsched.StencilWorkload(8 << 10)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
-			os.Exit(1)
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracedump record (-workload NAME | -kernel chase|stream|stencil | -trace FILE) [-n UOPS] -o FILE
+  tracedump info [-verify] FILE
+  tracedump cat [-n 50] (FILE | -workload NAME | -kernel NAME)`)
+	os.Exit(2)
+}
+
+// workloadFlags registers the shared workload-selection flags on fs.
+func workloadFlags(fs *flag.FlagSet) (workload, kernel *string) {
+	workload = fs.String("workload", "", "Table 2 workload profile name")
+	kernel = fs.String("kernel", "", "kernel name: chase, stream, stencil")
+	return
+}
+
+// selectWorkload resolves the -workload/-kernel pair (and optionally a
+// positional or -trace file) to a Workload.
+func selectWorkload(workload, kernel, tracePath string) (specsched.Workload, bool) {
+	set := 0
+	for _, s := range []string{workload, kernel, tracePath} {
+		if s != "" {
+			set++
 		}
-	case *workload != "":
-		w = specsched.WorkloadByName(*workload)
-	default:
-		fmt.Fprintln(os.Stderr, "specify -workload or -kernel (see -h)")
-		os.Exit(1)
 	}
+	if set != 1 {
+		return specsched.Workload{}, false
+	}
+	switch {
+	case tracePath != "":
+		return specsched.TraceWorkload(tracePath), true
+	case workload != "":
+		return specsched.WorkloadByName(workload), true
+	}
+	switch kernel {
+	case "chase":
+		return specsched.PointerChaseWorkload(1024), true
+	case "stream":
+		return specsched.StreamWorkload(8 << 10), true
+	case "stencil":
+		return specsched.StencilWorkload(8 << 10), true
+	}
+	fatalf("unknown kernel %q (want chase, stream, or stencil)", kernel)
+	panic("unreachable")
+}
 
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload, kernel := workloadFlags(fs)
+	traceIn := fs.String("trace", "", "re-record an existing trace file")
+	n := fs.Int64("n", 0, "µ-ops to record (required unless re-recording; 0 = the source trace's full length)")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() != 0 {
+		usage()
+	}
+	w, ok := selectWorkload(*workload, *kernel, *traceIn)
+	if !ok {
+		usage()
+	}
+	if err := w.Record(*out, *n); err != nil {
+		fatalf("%v", err)
+	}
+	info, err := specsched.ReadTraceInfo(*out)
+	if err != nil {
+		fatalf("recorded but unreadable: %v", err)
+	}
+	fmt.Printf("wrote %s: %d µ-ops, generator %q, digest %016x\n",
+		*out, info.UOps, info.Generator, info.Digest)
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	verify := fs.Bool("verify", false, "decode the whole body, checking records, count, and digest")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	var (
+		info specsched.TraceInfo
+		err  error
+	)
+	if *verify {
+		info, err = specsched.VerifyTrace(path)
+	} else {
+		info, err = specsched.ReadTraceInfo(path)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("file:            %s\n", path)
+	fmt.Printf("format version:  %d\n", info.Version)
+	fmt.Printf("generator:       %s\n", info.Generator)
+	fmt.Printf("µ-ops:           %d\n", info.UOps)
+	fmt.Printf("digest:          %016x\n", info.Digest)
+	fmt.Printf("wrong-path seed: %d\n", info.WrongPathSeed)
+	if *verify {
+		fmt.Println("verified:        body decodes cleanly, count and digest match")
+	}
+}
+
+func cmdCat(args []string) {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	workload, kernel := workloadFlags(fs)
+	n := fs.Int("n", 50, "number of µ-ops to print")
+	fs.Parse(args)
+	tracePath := ""
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		tracePath = fs.Arg(0)
+	default:
+		usage()
+	}
+	w, ok := selectWorkload(*workload, *kernel, tracePath)
+	if !ok {
+		usage()
+	}
 	uops, err := w.Trace(*n)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	for _, u := range uops {
 		fmt.Println(u)
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "cat":
+		cmdCat(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown subcommand %q\n", os.Args[1])
+		usage()
 	}
 }

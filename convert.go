@@ -6,6 +6,7 @@ import (
 
 	"specsched/internal/config"
 	"specsched/internal/stats"
+	"specsched/internal/traceio"
 	"specsched/results"
 )
 
@@ -57,4 +58,16 @@ func runFromStatsElapsed(sr *stats.Run, elapsed time.Duration) results.Run {
 	out := runFromStats(sr)
 	out.Elapsed = elapsed
 	return out
+}
+
+// traceInfoFromHeader maps the internal trace header onto the public
+// TraceInfo record.
+func traceInfoFromHeader(h traceio.Header) TraceInfo {
+	return TraceInfo{
+		Version:       h.Version,
+		Generator:     h.Generator,
+		UOps:          h.Count,
+		Digest:        h.Digest,
+		WrongPathSeed: h.WrongPathSeed,
+	}
 }

@@ -21,6 +21,11 @@ var (
 	// cancellation. Work completed before the cancel is preserved: a sweep
 	// with a checkpoint configured remains resumable.
 	ErrCanceled = errors.New("specsched: canceled")
+	// ErrBadTrace reports an unusable recorded µ-op trace: an unreadable
+	// or non-trace file, an unsupported format version, a corrupt body
+	// (truncation, mangled varints, digest mismatch), or a trace too short
+	// for the simulation window it is asked to drive.
+	ErrBadTrace = errors.New("specsched: bad trace")
 )
 
 // apiError attaches one of the package sentinels to a concrete cause;

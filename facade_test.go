@@ -3,6 +3,7 @@ package specsched_test
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -329,5 +330,209 @@ func TestWorkloadTrace(t *testing.T) {
 	kuops, err := specsched.StencilWorkload(1 << 10).Trace(3)
 	if err != nil || len(kuops) != 3 {
 		t.Fatalf("kernel trace: %v (%d µ-ops)", err, len(kuops))
+	}
+}
+
+// TestTraceWorkloadRoundTrip pins the public record/replay contract end to
+// end: Record a workload, simulate the trace, and get a Run bit-identical
+// to the live simulation (Elapsed excluded — it is wall clock).
+func TestTraceWorkloadRoundTrip(t *testing.T) {
+	const warm, measure = 1000, 5000
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gzip.trace")
+	if err := specsched.WorkloadByName("gzip").Record(path, warm+measure+8192); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := specsched.ReadTraceInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.UOps != warm+measure+8192 || !strings.HasPrefix(info.Generator, "profile:gzip") {
+		t.Fatalf("unexpected trace info %+v", info)
+	}
+	if vinfo, err := specsched.VerifyTrace(path); err != nil || vinfo != info {
+		t.Fatalf("VerifyTrace = %+v, %v; want %+v", vinfo, err, info)
+	}
+
+	run := func(w specsched.Workload) results.Run {
+		r, err := specsched.NewSimulator(
+			specsched.WithWorkloadSpec(w),
+			specsched.WithPreset("SpecSched_4"),
+			specsched.WithWarmup(warm),
+			specsched.WithMeasure(measure),
+		).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Elapsed = 0
+		return r
+	}
+	live := run(specsched.WorkloadByName("gzip"))
+	replay := run(specsched.TraceWorkload(path))
+	replay.Workload = live.Workload // display name differs only if stems differ
+	if live != replay {
+		t.Fatalf("trace replay diverged from live run:\n live   %+v\n replay %+v", live, replay)
+	}
+
+	// The io.Reader variant replays identically and is reusable.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wr := specsched.TraceWorkloadReader(f)
+	for i := 0; i < 2; i++ {
+		rr := run(wr)
+		rr.Workload = live.Workload
+		if live != rr {
+			t.Fatalf("reader replay %d diverged from live run", i)
+		}
+	}
+}
+
+// TestTraceErrorTaxonomy checks every ErrBadTrace path reachable through
+// the public API.
+func TestTraceErrorTaxonomy(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "missing.trace")
+	junk := filepath.Join(dir, "junk.trace")
+	if err := os.WriteFile(junk, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.trace")
+	if err := specsched.StreamWorkload(8<<10).Record(short, 2000); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		err  func() error
+	}{
+		{"missing file", func() error { _, e := specsched.ReadTraceInfo(missing); return e }},
+		{"junk info", func() error { _, e := specsched.ReadTraceInfo(junk); return e }},
+		{"junk verify", func() error { _, e := specsched.VerifyTrace(junk); return e }},
+		{"junk simulate", func() error {
+			_, e := specsched.NewSimulator(specsched.WithWorkloadSpec(specsched.TraceWorkload(junk))).Run(ctx)
+			return e
+		}},
+		{"window longer than trace", func() error {
+			_, e := specsched.NewSimulator(
+				specsched.WithWorkloadSpec(specsched.TraceWorkload(short)),
+				specsched.WithWarmup(1000), specsched.WithMeasure(60000)).Run(ctx)
+			return e
+		}},
+		{"trace runs dry inside the fetch-ahead", func() error {
+			// Count covers warmup+measure, but not the fetch-ahead past
+			// the last committed µ-op: the run completes, yet its machine
+			// state diverged from live generation — must fail, not return
+			// silently different statistics.
+			tight := filepath.Join(dir, "tight.trace")
+			if err := specsched.WorkloadByName("gzip").Record(tight, 1000+5000+100); err != nil {
+				return err
+			}
+			_, e := specsched.NewSimulator(
+				specsched.WithWorkloadSpec(specsched.TraceWorkload(tight)),
+				specsched.WithWarmup(1000), specsched.WithMeasure(5000)).Run(ctx)
+			return e
+		}},
+		{"sweep cell over too-short trace", func() error {
+			cells, _ := specsched.NewSweep(
+				specsched.SweepConfigs("Baseline_0"),
+				specsched.SweepTraces(short),
+				specsched.SweepWarmup(1000), specsched.SweepMeasure(60000)).Run(ctx)
+			if len(cells) != 1 {
+				t.Fatalf("sweep returned %d cells, want 1", len(cells))
+			}
+			// The cell's own error must carry the sentinel, exactly like
+			// the Simulator path reports the same defect.
+			return cells[0].Err
+		}},
+		{"sweep over junk trace", func() error {
+			_, e := specsched.NewSweep(
+				specsched.SweepConfigs("Baseline_0"),
+				specsched.SweepTraces(junk)).Run(ctx)
+			return e
+		}},
+	} {
+		if err := tc.err(); !errors.Is(err, specsched.ErrBadTrace) {
+			t.Errorf("%s: error %v does not match ErrBadTrace", tc.name, err)
+		}
+	}
+
+	// Recording an unbounded workload without a count is a config error,
+	// not a trace error.
+	if err := specsched.WorkloadByName("gzip").Record(filepath.Join(dir, "x.trace"), 0); !errors.Is(err, specsched.ErrInvalidConfig) {
+		t.Errorf("count-less Record: %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestSweepTraces runs a sweep grid over recorded traces and pins three
+// properties: trace cells replay bit-identically to the synthetic cells
+// they recorded, the workload axis defaults to the traces alone, and the
+// checkpoint fingerprint embeds the trace digest (so a swapped file
+// invalidates the checkpoint instead of contaminating the resume).
+func TestSweepTraces(t *testing.T) {
+	const warm, measure = 1000, 4000
+	dir := t.TempDir()
+	for _, wl := range []string{"gzip", "hmmer"} {
+		if err := specsched.WorkloadByName(wl).Record(
+			filepath.Join(dir, wl+".trace"), warm+measure+8192); err != nil {
+			t.Fatal(err)
+		}
+	}
+	glob := []string{filepath.Join(dir, "gzip.trace"), filepath.Join(dir, "hmmer.trace")}
+
+	base := []specsched.SweepOption{
+		specsched.SweepConfigs("Baseline_0", "SpecSched_4"),
+		specsched.SweepWarmup(warm),
+		specsched.SweepMeasure(measure),
+	}
+	live, err := specsched.NewSweep(append(base, specsched.SweepWorkloads("gzip", "hmmer"))...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := specsched.NewSweep(append(base, specsched.SweepTraces(glob...))...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(live) {
+		t.Fatalf("trace sweep has %d cells, live sweep %d", len(replay), len(live))
+	}
+	for i := range live {
+		lr, rr := live[i].Run, replay[i].Run
+		lr.Elapsed, rr.Elapsed = 0, 0
+		if live[i].CellRef != replay[i].CellRef || lr != rr {
+			t.Fatalf("cell %d diverged:\n live   %v %+v\n replay %v %+v",
+				i, live[i].CellRef, lr, replay[i].CellRef, rr)
+		}
+	}
+
+	// Checkpointed trace sweep: resuming with an unchanged file reuses the
+	// cells; swapping the trace contents under the same path is rejected.
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	withCkpt := append(base, specsched.SweepTraces(glob...), specsched.SweepCheckpoint(ckpt))
+	if _, err := specsched.NewSweep(withCkpt...).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := specsched.NewSweep(withCkpt...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, c := range resumed {
+		if c.Cached {
+			cached++
+		}
+	}
+	if cached != len(resumed) {
+		t.Fatalf("resume with unchanged traces reused %d/%d cells", cached, len(resumed))
+	}
+	if err := specsched.WorkloadByName("gzip").Record(
+		filepath.Join(dir, "gzip.trace"), warm+measure+9000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := specsched.NewSweep(withCkpt...).Run(ctx); !errors.Is(err, specsched.ErrInvalidConfig) {
+		t.Fatalf("resume against swapped trace: %v, want fingerprint rejection (ErrInvalidConfig)", err)
 	}
 }

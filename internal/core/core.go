@@ -12,6 +12,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"specsched/internal/bpred"
@@ -25,6 +26,13 @@ import (
 	"specsched/internal/trace"
 	"specsched/internal/uop"
 )
+
+// ErrStreamEnded reports that the µ-op stream was exhausted before the
+// requested simulation window completed — the pipeline drained, nothing
+// more can commit. The synthetic experiment streams are infinite and never
+// trigger it; a recorded trace (internal/traceio) that is shorter than the
+// simulation window it is asked to drive does.
+var ErrStreamEnded = errors.New("core: µ-op stream ended before the simulation window completed")
 
 // redirectBubble is the fetch-redirect latency after a branch resolves,
 // calibrated together with FrontendDepth so the minimum misprediction
@@ -132,6 +140,13 @@ type Core struct {
 	committed     int64 // total committed µ-ops since construction
 	lastCommitted int64 // deadlock watchdog
 	lastProgress  int64
+
+	// streamDone records that the correct-path µ-op stream reported
+	// exhaustion. The experiment streams are infinite, but recorded traces
+	// (internal/traceio) are not: once the pipeline has drained past the
+	// last recorded µ-op, stepTo returns ErrStreamEnded instead of letting
+	// the deadlock watchdog trip.
+	streamDone bool
 
 	// CommitHook, when non-nil, is invoked for every retiring µ-op in
 	// commit order — the architectural instruction stream. Used by tests
@@ -291,6 +306,15 @@ func (c *Core) Stats() *stats.Run { return c.run }
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() int64 { return c.cycle }
 
+// StreamExhausted reports whether the µ-op stream has reported
+// exhaustion. A run that completed its window with this set consumed the
+// stream's final µ-op mid-window: for a recorded trace that means fetch
+// wanted µ-ops the recording does not have, so the machine's fetch-ahead —
+// and therefore its statistics — can diverge from a live run. Callers
+// replaying traces must treat it as an error even when the window
+// committed fully.
+func (c *Core) StreamExhausted() bool { return c.streamDone }
+
 // delay returns the issue-to-execute delay D.
 func (c *Core) delay() int64 { return int64(c.cfg.IssueToExecuteDelay) }
 
@@ -336,7 +360,9 @@ func (c *Core) Step() {
 func (c *Core) Run(warmup, measure int64) *stats.Run {
 	r, err := c.RunContext(context.Background(), warmup, measure)
 	if err != nil {
-		// Unreachable: the background context never cancels.
+		// The background context never cancels, so the only reachable
+		// error is ErrStreamEnded from a too-short finite stream — callers
+		// running finite traces must use RunContext.
 		panic(err)
 	}
 	return r
@@ -401,6 +427,11 @@ func (c *Core) stepTo(ctx context.Context, targetCommitted int64) error {
 		if c.committed != c.lastCommitted {
 			c.lastCommitted = c.committed
 			c.lastProgress = c.cycle
+		} else if c.streamDone && len(c.rob) == 0 && len(c.frontQ) == 0 && len(c.refetchQ) == 0 {
+			// The stream ran dry and the pipeline has fully drained:
+			// nothing can ever commit again. Infinite experiment streams
+			// never get here; a too-short recorded trace does.
+			return ErrStreamEnded
 		} else if c.cycle-c.lastProgress > 500000 {
 			panic(fmt.Sprintf("core: no commit for 500000 cycles (cycle %d, committed %d, rob %d, iq %d, buffer %d, head %s)",
 				c.cycle, c.committed, len(c.rob), c.iqCount, len(c.recovery), c.describeHead()))

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"specsched/internal/config"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
+	"specsched/internal/traceio"
 	"specsched/internal/uop"
 )
 
@@ -174,6 +176,97 @@ func TestDifferentialWideWindow(t *testing.T) {
 		skip := runEvent(t, cfg, trace.New(p), p.Seed, true, 2000, 8000)
 		compareRuns(t, "IQ256/"+wl, scan, event)
 		compareRuns(t, "IQ256/"+wl+"/timeskip", event, skip)
+	}
+}
+
+// recordStream captures n µ-ops of a stream as an in-memory trace and
+// returns a replay decoder over it — the record/replay differential axis.
+func recordStream(t *testing.T, s uop.Stream, n int64, wpSeed uint64) *traceio.Decoder {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := traceio.Record(&buf, s, n, "differential", wpSeed); err != nil {
+		t.Fatal(err)
+	}
+	d, err := traceio.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// traceSlack is how many µ-ops past the simulation window the record/
+// replay tests capture: the core fetches ahead of commit by at most the
+// in-flight window (ROB + frontend + refetch buffers), so the recorded
+// trace must extend past the last committed µ-op by that much.
+const traceSlack = 8192
+
+// TestDifferentialTraceReplay is the record/replay equivalence axis over
+// the complete Table 2 suite: recording every workload's stream with
+// internal/traceio and replaying the trace through an identical core must
+// reproduce the live run's stats.Run bit for bit — every counter,
+// simulator-side diagnostics included, since recording must be perfectly
+// invisible. This is the contract that makes recorded traces first-class
+// workloads for the experiment grids and the CI traces job.
+func TestDifferentialTraceReplay(t *testing.T) {
+	const warm, measure = 1000, 6000
+	workloads := trace.ProfileNames()
+	if testing.Short() {
+		workloads = workloads[:6]
+	}
+	for _, wl := range workloads {
+		p, err := trace.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Preset("SpecSched_4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := runEvent(t, cfg, trace.New(p), p.Seed, true, warm, measure)
+
+		d := recordStream(t, trace.New(p), warm+measure+traceSlack, p.Seed)
+		replay := runEvent(t, cfg, d, d.Header().WrongPathSeed, true, warm, measure)
+		if err := d.Err(); err != nil {
+			t.Fatalf("%s: replay decoder: %v", wl, err)
+		}
+		if *live != *replay {
+			t.Errorf("%s: trace replay diverged from live generation\n live:   %+v\n replay: %+v",
+				wl, *live, *replay)
+		}
+	}
+}
+
+// TestDifferentialTraceReplayAcrossPresets replays one recording under
+// contrasting presets (conservative baseline, principal configuration,
+// full mitigations): one trace file must serve every configuration of the
+// grid, exactly as the live stream does — the property the paper's
+// normalization (every config over the identical instruction stream)
+// depends on.
+func TestDifferentialTraceReplayAcrossPresets(t *testing.T) {
+	const warm, measure = 1000, 6000
+	p, err := trace.ByName("xalancbmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := traceio.Record(&buf, trace.New(p), warm+measure+traceSlack, "differential", p.Seed); err != nil {
+		t.Fatal(err)
+	}
+	for _, preset := range []string{"Baseline_0", "SpecSched_4", "SpecSched_4_Crit"} {
+		cfg, err := config.Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := runEvent(t, cfg, trace.New(p), p.Seed, true, warm, measure)
+		d, err := traceio.NewDecoder(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay := runEvent(t, cfg, d, p.Seed, true, warm, measure)
+		if *live != *replay {
+			t.Errorf("%s: trace replay diverged from live generation\n live:   %+v\n replay: %+v",
+				preset, *live, *replay)
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ func (c *Core) fetch() {
 				e.u, ok = c.stream.Next()
 			}
 			if !ok {
+				c.streamDone = true
 				c.pool = append(c.pool, e)
 				return
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"specsched/internal/rng"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
+	"specsched/internal/traceio"
 	"specsched/internal/uop"
 )
 
@@ -147,26 +149,31 @@ func TestFuzzCoreInvariants(t *testing.T) {
 }
 
 // TestFuzzDifferentialScanVsEvent drives random configurations against
-// random workloads under three variants — the scan implementation, the
-// event-driven implementation stepping every cycle, and the event-driven
-// implementation with quiescent-cycle skipping — and requires bit-identical
-// statistics from all of them: the strongest evidence that both the
-// event-driven rewrite and time skipping model exactly the same machine
-// across the whole configuration space (window sizes, widths, replay
-// schemes, interleavings).
+// random workloads under four variants — the scan implementation, the
+// event-driven implementation stepping every cycle, the event-driven
+// implementation with quiescent-cycle skipping, and the event-driven
+// implementation replaying a recorded trace of the same stream — and
+// requires bit-identical statistics from all of them: the strongest
+// evidence that the event-driven rewrite, time skipping, and trace
+// record/replay all model exactly the same machine across the whole
+// configuration space (window sizes, widths, replay schemes,
+// interleavings).
 func TestFuzzDifferentialScanVsEvent(t *testing.T) {
 	n := 20
 	if testing.Short() {
 		n = 5
 	}
+	const warm, measure = 1000, 6000
 	variants := []struct {
 		label    string
 		impl     config.SchedulerImpl
 		timeskip bool
+		replay   bool
 	}{
-		{"scan", config.SchedScan, false},
-		{"event", config.SchedEvent, false},
-		{"event+skip", config.SchedEvent, true},
+		{"scan", config.SchedScan, false, false},
+		{"event", config.SchedEvent, false, false},
+		{"event+skip", config.SchedEvent, true, false},
+		{"event+skip+replay", config.SchedEvent, true, true},
 	}
 	for i := 0; i < n; i++ {
 		seed := uint64(i*104729 + 7)
@@ -180,9 +187,21 @@ func TestFuzzDifferentialScanVsEvent(t *testing.T) {
 			cfg := cfg
 			cfg.Scheduler = v.impl
 			cfg.TimeSkip = v.timeskip
-			c := MustNew(cfg, trace.New(prof), seed)
+			stream := uop.Stream(trace.New(prof))
+			if v.replay {
+				var buf bytes.Buffer
+				if _, err := traceio.Record(&buf, stream, warm+measure+8192, "fuzz", seed); err != nil {
+					t.Fatalf("seed %d: record: %v", seed, err)
+				}
+				d, err := traceio.NewDecoder(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("seed %d: decode: %v", seed, err)
+				}
+				stream = d
+			}
+			c := MustNew(cfg, stream, seed)
 			c.SetWorkloadName(prof.Name)
-			runs[k] = c.Run(1000, 6000)
+			runs[k] = c.Run(warm, measure)
 		}
 		ref := runs[0].MaskSchedulerCounters()
 		for k := 1; k < len(variants); k++ {

@@ -29,8 +29,14 @@ type Options struct {
 	Warmup  int64
 	Measure int64
 	// Workloads restricts the benchmark list (nil = the full Table 2
-	// suite).
+	// suite, or the trace names when Traces is set).
 	Workloads []string
+	// Traces adds recorded µ-op traces (internal/traceio) as workloads:
+	// any workload name matching a trace name replays the file instead of
+	// generating synthetically. Trace names not already in Workloads are
+	// appended to the axis; their header digests join the checkpoint
+	// fingerprint so a swapped trace file invalidates stale cells.
+	Traces []sim.TraceRef
 	// Parallel bounds sweep worker goroutines (0 = GOMAXPROCS) — the
 	// CLI's -jobs.
 	Parallel int
@@ -59,7 +65,9 @@ type Options struct {
 	OnProgress func(sim.Progress)
 }
 
-// Defaults fills unset fields.
+// Defaults fills unset fields. With traces configured, an empty workload
+// list means "the traces only"; trace names missing from an explicit list
+// are appended so every configured trace is part of the grid.
 func (o Options) withDefaults() Options {
 	if o.Warmup <= 0 {
 		o.Warmup = 10000
@@ -67,8 +75,17 @@ func (o Options) withDefaults() Options {
 	if o.Measure <= 0 {
 		o.Measure = 60000
 	}
-	if len(o.Workloads) == 0 {
+	if len(o.Workloads) == 0 && len(o.Traces) == 0 {
 		o.Workloads = trace.ProfileNames()
+	}
+	have := make(map[string]bool, len(o.Workloads))
+	for _, wl := range o.Workloads {
+		have[wl] = true
+	}
+	for _, tr := range o.Traces {
+		if !have[tr.Name] {
+			o.Workloads = append(o.Workloads, tr.Name)
+		}
 	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
@@ -85,6 +102,8 @@ func (o Options) withDefaults() Options {
 // Baseline_0) run each simulation exactly once.
 type Runner struct {
 	opts Options
+	// traces indexes opts.Traces by workload name for cell dispatch.
+	traces sim.TraceSet
 
 	mu    sync.Mutex
 	cache map[string]*stats.Run
@@ -105,7 +124,14 @@ func (r *Runner) SimulatedUOps() int64 {
 
 // NewRunner constructs a Runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.withDefaults(), cache: make(map[string]*stats.Run)}
+	r := &Runner{opts: opts.withDefaults(), cache: make(map[string]*stats.Run)}
+	if len(r.opts.Traces) > 0 {
+		r.traces = make(sim.TraceSet, len(r.opts.Traces))
+		for _, tr := range r.opts.Traces {
+			r.traces[tr.Name] = tr
+		}
+	}
+	return r
 }
 
 // Opts returns the effective options.
@@ -127,7 +153,7 @@ func (r *Runner) checkpoint() (*sim.Checkpoint, error) {
 		return r.ckpt, nil
 	}
 	cp, err := sim.LoadCheckpoint(r.opts.Checkpoint,
-		sim.Fingerprint(r.opts.Warmup, r.opts.Measure, r.opts.Scheduler))
+		sim.FingerprintTraces(r.opts.Warmup, r.opts.Measure, r.opts.Scheduler, r.traces))
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +192,7 @@ func (r *Runner) runGrid(ctx context.Context, cfgs []config.CoreConfig) (map[str
 		OnProgress:  r.opts.OnProgress,
 	}
 	results := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
-		return sim.Simulate(ctx, c, r.opts.Warmup, r.opts.Measure)
+		return sim.SimulateCell(ctx, c, r.opts.Warmup, r.opts.Measure, r.traces)
 	})
 
 	out := make(map[string]*stats.Run)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -10,6 +11,8 @@ import (
 
 	"specsched/internal/sim"
 	"specsched/internal/stats"
+	"specsched/internal/trace"
+	"specsched/internal/traceio"
 )
 
 // ctx is the background context shared by these tests; cancellation
@@ -365,5 +368,53 @@ func TestCollectCanceledFlushesCheckpoint(t *testing.T) {
 	want := perCell * int64(len(opts.Workloads)-done)
 	if got := r2.SimulatedUOps(); got != want {
 		t.Fatalf("resume simulated %d µ-ops, want %d (%d cells were checkpointed)", got, want, done)
+	}
+}
+
+// TestRunnerTraces pins the trace workload axis: with only Traces set, the
+// grid runs over the traces alone (each named by file stem), and the
+// replayed Table 2 report equals the live one for the recorded workloads.
+func TestRunnerTraces(t *testing.T) {
+	const warm, measure = 1000, 5000
+	dir := t.TempDir()
+	var refs []sim.TraceRef
+	for _, wl := range []string{"gzip", "hmmer"} {
+		p, err := trace.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, wl+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := traceio.Record(f, trace.New(p), warm+measure+8192, "test:"+wl, p.Seed); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := sim.LoadTrace(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+
+	rt := NewRunner(Options{Warmup: warm, Measure: measure, Traces: refs})
+	if got := rt.Opts().Workloads; len(got) != 2 || got[0] != "gzip" || got[1] != "hmmer" {
+		t.Fatalf("trace-only options resolved workloads %v, want [gzip hmmer]", got)
+	}
+	replayed, err := rt.Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewRunner(Options{Warmup: warm, Measure: measure,
+		Workloads: []string{"gzip", "hmmer"}}).Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != live {
+		t.Errorf("trace-driven Table 2 differs from live:\n-- replayed --\n%s\n-- live --\n%s", replayed, live)
 	}
 }

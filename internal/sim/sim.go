@@ -14,15 +14,21 @@
 package sim
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
+	"sort"
+	"strings"
 
 	"specsched/internal/config"
 	"specsched/internal/core"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
+	"specsched/internal/traceio"
 )
 
 // Cell is one independently dispatchable unit of the sweep grid: a full
@@ -109,10 +115,140 @@ func Simulate(ctx context.Context, cell Cell, warmup, measure int64) (*stats.Run
 	return c.RunContext(ctx, warmup, measure)
 }
 
+// ErrBadTrace marks cell failures caused by the recorded trace backing a
+// workload — unreadable or corrupt files, traces too short for the
+// simulation window, or a stream that ran dry inside the window's
+// fetch-ahead. The public façade maps it onto its own ErrBadTrace
+// sentinel so sweep cells and single simulations fail identically.
+var ErrBadTrace = errors.New("sim: unusable trace")
+
+// TraceRef names one recorded µ-op trace (internal/traceio) serving as a
+// sweep workload: cells whose Workload matches Name replay the file at
+// Path instead of generating a synthetic stream. LoadTrace reads and
+// decompresses the file once; every cell then decodes from the shared
+// in-memory body. The header's content digest feeds the sweep fingerprint
+// so a swapped trace file invalidates checkpointed cells instead of
+// silently reusing them.
+type TraceRef struct {
+	Name   string
+	Path   string
+	Header traceio.Header
+
+	// proto is the loaded decoder the ref was created with; NewStream
+	// clones it (shared read-only body, fresh decode state) per cell.
+	proto *traceio.Decoder
+}
+
+// LoadTrace reads and validates the trace at path and returns a TraceRef
+// named after the file stem ("corpus/mcf.trace" → "mcf"). The
+// decompressed body (a few bytes per µ-op) stays resident for the ref's
+// lifetime — it is the working set every cell of a sweep replays.
+func LoadTrace(path string) (TraceRef, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return TraceRef{}, fmt.Errorf("%w: %s: %v", ErrBadTrace, path, err)
+	}
+	d, err := traceio.NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		return TraceRef{}, fmt.Errorf("%w: %s: %v", ErrBadTrace, path, err)
+	}
+	return TraceRef{Name: traceio.WorkloadName(path), Path: path, Header: d.Header(), proto: d}, nil
+}
+
+// NewStream opens the trace for one replay. Refs from LoadTrace clone the
+// cached in-memory body (no I/O, no inflation); a zero-constructed ref
+// falls back to reading Path. Either way the returned stream needs no
+// Close and its NextInto steady state allocates nothing.
+func (t TraceRef) NewStream() (*traceio.Decoder, error) {
+	if t.proto != nil {
+		return t.proto.Clone(), nil
+	}
+	loaded, err := LoadTrace(t.Path)
+	if err != nil {
+		return nil, err
+	}
+	return loaded.proto.Clone(), nil
+}
+
+// TraceSet maps workload names to recorded traces. A trace whose name
+// collides with a Table 2 profile shadows the profile for cells in sweeps
+// carrying the set.
+type TraceSet map[string]TraceRef
+
+// SimulateCell is Simulate with trace dispatch: cells whose workload name
+// is present in traces replay the recorded stream (bit-identical to the
+// live generation it recorded); all other cells generate synthetically.
+// Seed replicas of a trace cell vary the wrong-path filler seed only —
+// index 0 is the recorded seed, making the default replica bit-identical
+// to the live run — since the correct-path stream is fixed by the file.
+// Trace-caused failures match ErrBadTrace.
+func SimulateCell(ctx context.Context, cell Cell, warmup, measure int64, traces TraceSet) (*stats.Run, error) {
+	tr, ok := traces[cell.Workload]
+	if !ok {
+		return Simulate(ctx, cell, warmup, measure)
+	}
+	if tr.Header.Count < warmup+measure {
+		return nil, fmt.Errorf("%w: %s records %d µ-ops, window needs at least %d",
+			ErrBadTrace, tr.Path, tr.Header.Count, warmup+measure)
+	}
+	d, err := tr.NewStream()
+	if err != nil {
+		return nil, err
+	}
+	seed := DeriveSeed(tr.Header.WrongPathSeed, cell.Workload, cell.SeedIdx)
+	c, err := core.New(cell.Config, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.SetWorkloadName(cell.Workload)
+	r, err := c.RunContext(ctx, warmup, measure)
+	switch {
+	case err != nil && d.Err() != nil:
+		// The stream "ended" because a record failed to decode: surface
+		// the corruption, not the drained pipeline.
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadTrace, tr.Path, d.Err())
+	case errors.Is(err, core.ErrStreamEnded):
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadTrace, tr.Path, err)
+	case err != nil:
+		return nil, err
+	case c.StreamExhausted():
+		// The window committed, but fetch consumed the trace's final µ-op
+		// mid-window: the fetch-ahead — and so the statistics — can differ
+		// from a live run. Bit-identity or failure, nothing in between.
+		return nil, fmt.Errorf("%w: %s ran dry inside the window's fetch-ahead (%d recorded µ-ops; record more slack)",
+			ErrBadTrace, tr.Path, tr.Header.Count)
+	}
+	return r, nil
+}
+
 // Fingerprint summarizes the sweep-wide options that determine a cell's
 // result beyond its (config, workload, seed) coordinates. Checkpoints
 // created under a different fingerprint are rejected rather than silently
 // merged.
 func Fingerprint(warmup, measure int64, sched config.SchedulerImpl) string {
 	return fmt.Sprintf("warmup=%d,measure=%d,sched=%s", warmup, measure, sched)
+}
+
+// FingerprintTraces is Fingerprint extended with the identity of every
+// trace workload: name, body digest, µ-op count, and wrong-path seed. A
+// trace file swapped for different contents under the same path therefore
+// changes the fingerprint, and a checkpoint recorded against the old
+// contents is rejected instead of contaminating the resumed sweep.
+func FingerprintTraces(warmup, measure int64, sched config.SchedulerImpl, traces TraceSet) string {
+	fp := Fingerprint(warmup, measure, sched)
+	if len(traces) == 0 {
+		return fp
+	}
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(fp)
+	for _, name := range names {
+		tr := traces[name]
+		fmt.Fprintf(&b, ",trace:%s=%016x/%d/%d", name, tr.Header.Digest, tr.Header.Count, tr.Header.WrongPathSeed)
+	}
+	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"specsched/internal/core"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
+	"specsched/internal/traceio"
 )
 
 func testGrid(t *testing.T, cfgNames []string, workloads []string, seeds int) []Cell {
@@ -417,5 +419,108 @@ func TestPoolOnResultStreams(t *testing.T) {
 	}
 	if cached != 4 {
 		t.Fatalf("streamed %d cached cells, want 4", cached)
+	}
+}
+
+// recordTestTrace writes a trace of workload wl to dir and returns its ref.
+func recordTestTrace(t *testing.T, dir, wl string, n int64) TraceRef {
+	t.Helper()
+	p, err := trace.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, wl+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traceio.Record(f, trace.New(p), n, "sim-test:"+wl, p.Seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestSimulateCellTraceMatchesLive pins the trace dispatch: a cell whose
+// workload name resolves to a trace must replay to the exact Run the
+// synthetic path produces, seed replica 0 being the recorded seed.
+func TestSimulateCellTraceMatchesLive(t *testing.T) {
+	const warm, measure = 1000, 5000
+	dir := t.TempDir()
+	ref := recordTestTrace(t, dir, "gzip", warm+measure+8192)
+	if ref.Name != "gzip" {
+		t.Fatalf("LoadTrace name = %q, want gzip", ref.Name)
+	}
+	cfg, err := config.Preset("SpecSched_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Config: cfg, Workload: "gzip"}
+	live, err := Simulate(context.Background(), cell, warm, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := SimulateCell(context.Background(), cell, warm, measure, TraceSet{"gzip": ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *live != *replay {
+		t.Fatalf("trace cell diverged from live cell:\n live   %+v\n replay %+v", *live, *replay)
+	}
+
+	// Replica 1 varies the wrong-path seed only; it must still complete
+	// and may differ from replica 0 only through wrong-path effects.
+	cell.SeedIdx = 1
+	if _, err := SimulateCell(context.Background(), cell, warm, measure, TraceSet{"gzip": ref}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulateCellTraceTooShort checks the window guard: a trace shorter
+// than warmup+measure fails the cell with a clear error instead of
+// deadlocking the core.
+func TestSimulateCellTraceTooShort(t *testing.T) {
+	dir := t.TempDir()
+	ref := recordTestTrace(t, dir, "gzip", 2000)
+	cfg, err := config.Preset("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SimulateCell(context.Background(), Cell{Config: cfg, Workload: "gzip"}, 1000, 5000, TraceSet{"gzip": ref})
+	if err == nil || !strings.Contains(err.Error(), "records 2000") {
+		t.Fatalf("want too-short trace error, got %v", err)
+	}
+}
+
+// TestFingerprintTraces pins the digest-in-checkpoint rule: the
+// fingerprint must change when a trace's contents change (same path, same
+// name), must be order-independent, and must extend — not replace — the
+// base fingerprint.
+func TestFingerprintTraces(t *testing.T) {
+	dir := t.TempDir()
+	a := recordTestTrace(t, dir, "gzip", 3000)
+	b := recordTestTrace(t, dir, "swim", 3000)
+	base := Fingerprint(1000, 5000, config.SchedEvent)
+	if got := FingerprintTraces(1000, 5000, config.SchedEvent, nil); got != base {
+		t.Errorf("no traces: fingerprint %q, want base %q", got, base)
+	}
+	fp := FingerprintTraces(1000, 5000, config.SchedEvent, TraceSet{a.Name: a, b.Name: b})
+	if !strings.HasPrefix(fp, base) {
+		t.Errorf("trace fingerprint %q does not extend base %q", fp, base)
+	}
+	// Same set, different map iteration won't change the string (sorted).
+	if again := FingerprintTraces(1000, 5000, config.SchedEvent, TraceSet{b.Name: b, a.Name: a}); again != fp {
+		t.Errorf("fingerprint not order-independent: %q vs %q", fp, again)
+	}
+	// A re-recorded trace with different contents must change it.
+	c := recordTestTrace(t, dir, "gzip", 3001)
+	if changed := FingerprintTraces(1000, 5000, config.SchedEvent, TraceSet{c.Name: c, b.Name: b}); changed == fp {
+		t.Error("fingerprint unchanged after trace contents changed")
 	}
 }

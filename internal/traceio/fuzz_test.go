@@ -1,0 +1,71 @@
+package traceio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"specsched/internal/trace"
+	"specsched/internal/uop"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes to the decoder. The contract under
+// fuzzing is: malformed input of every kind — broken containers, corrupt
+// headers, truncated bodies, mangled varints — must surface as an error,
+// never a panic, never an over-allocation driven by untrusted header
+// fields, and never a µ-op that fails structural validation.
+func FuzzTraceDecode(f *testing.F) {
+	// Seed corpus: a small valid trace, truncations of it at container and
+	// body granularity, a bit-flipped variant, a huge-count header, and
+	// plain junk.
+	var valid bytes.Buffer
+	if _, err := Record(&valid, trace.NewStreamSum(4<<10), 600, "fuzz:seed", 9); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add(valid.Bytes()[:18])
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[valid.Len()/2] ^= 0x40
+	f.Add(flipped)
+	var huge bytes.Buffer
+	gz := gzip.NewWriter(&huge)
+	gz.Write(magic)
+	gz.Write([]byte{Version, 0})                               // version, empty generator
+	gz.Write([]byte{0})                                        // wrong-path seed
+	gz.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // enormous count
+	gz.Write([]byte{0})                                        // digest
+	gz.Close()
+	f.Add(huge.Bytes())
+	f.Add([]byte("definitely not a trace"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine, as long as it didn't panic
+		}
+		var u uop.UOp
+		decoded := 0
+		for d.NextInto(&u) {
+			// The decoder must never produce more µ-ops than the input
+			// could plausibly encode: records are >= 3 bytes and deflate
+			// expands at most ~1032x, so the input length bounds the count.
+			if decoded++; decoded > 400*len(data)+1024 {
+				t.Fatalf("decoded %d µ-ops from %d input bytes", decoded, len(data))
+			}
+			if err := u.Validate(); err != nil {
+				t.Fatalf("decoder produced invalid µ-op: %v", err)
+			}
+			if u.WrongPath {
+				t.Fatal("decoder produced a wrong-path µ-op")
+			}
+		}
+		if int64(decoded) > d.Header().Count {
+			t.Fatalf("decoded %d µ-ops, header claims %d", decoded, d.Header().Count)
+		}
+		if int64(decoded) < d.Header().Count && d.Err() == nil {
+			t.Fatalf("decode stopped at %d of %d µ-ops with nil Err", decoded, d.Header().Count)
+		}
+	})
+}

@@ -120,6 +120,27 @@ type UOp struct {
 // HasDest reports whether the µ-op produces a register result.
 func (u *UOp) HasDest() bool { return u.Dest != RegNone }
 
+// validReg reports whether r is an architectural register index or RegNone.
+func validReg(r int) bool { return r == RegNone || (r >= 0 && r < NumArchRegs) }
+
+// Validate reports structurally impossible µ-ops: an unknown class or an
+// out-of-range register operand. Generators are trusted to emit valid
+// µ-ops; the trace codec (internal/traceio) and fuzz harnesses use this to
+// reject records that cannot have come from a well-formed stream.
+func (u *UOp) Validate() error {
+	switch {
+	case u.Class >= numClasses:
+		return fmt.Errorf("uop %d: unknown class %d", u.Seq, uint8(u.Class))
+	case !validReg(u.Src1):
+		return fmt.Errorf("uop %d: source 1 register %d out of range", u.Seq, u.Src1)
+	case !validReg(u.Src2):
+		return fmt.Errorf("uop %d: source 2 register %d out of range", u.Seq, u.Src2)
+	case !validReg(u.Dest):
+		return fmt.Errorf("uop %d: destination register %d out of range", u.Seq, u.Dest)
+	}
+	return nil
+}
+
 // String renders a compact human-readable form, useful in tests and debug
 // dumps.
 func (u *UOp) String() string {

@@ -1,0 +1,103 @@
+package presets_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"specsched/presets"
+)
+
+// TestNamesResolve pins the listing/resolution contract: every name
+// Names() returns must resolve (Valid), the list is sorted and free of
+// duplicates, and the simulator-study _IQ256 variants are deliberately
+// not listed.
+func TestNamesResolve(t *testing.T) {
+	names := presets.Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("Names() lists %q twice", n)
+		}
+		seen[n] = true
+		if !presets.Valid(n) {
+			t.Errorf("listed preset %q does not resolve", n)
+		}
+		if strings.HasSuffix(n, "_IQ256") {
+			t.Errorf("Names() lists widened-window study point %q", n)
+		}
+	}
+}
+
+// TestWideWindowRoundTrips pins the _IQ256 suffix contract on every
+// registered preset: WideWindow(name) appends exactly the suffix, the
+// result resolves wherever a preset name is accepted, and an unregistered
+// base does not become valid by suffixing.
+func TestWideWindowRoundTrips(t *testing.T) {
+	for _, n := range presets.Names() {
+		wide := presets.WideWindow(n)
+		if wide != n+"_IQ256" {
+			t.Errorf("WideWindow(%q) = %q, want %q", n, wide, n+"_IQ256")
+		}
+		if !presets.Valid(wide) {
+			t.Errorf("widened preset %q does not resolve", wide)
+		}
+		if got := strings.TrimSuffix(wide, "_IQ256"); got != n {
+			t.Errorf("suffix round trip of %q lost the base: %q", n, got)
+		}
+	}
+	if presets.Valid(presets.WideWindow("NotAPreset_9")) {
+		t.Error("widened unknown preset resolves")
+	}
+	if presets.Valid("_IQ256") {
+		t.Error("bare suffix resolves")
+	}
+}
+
+// TestBuilderNamesAreRegistered checks every name-building helper against
+// the registry: for each registered delay, the built name must be listed
+// (and thus resolvable); unregistered delays build names that do not
+// resolve.
+func TestBuilderNamesAreRegistered(t *testing.T) {
+	listed := map[string]bool{}
+	for _, n := range presets.Names() {
+		listed[n] = true
+	}
+	builders := []struct {
+		label string
+		build func(delay int) string
+	}{
+		{"Baseline", presets.Baseline},
+		{"SpecSched banked", func(d int) string { return presets.SpecSched(d, true) }},
+		{"SpecSched dual", func(d int) string { return presets.SpecSched(d, false) }},
+		{"Shift", presets.Shift},
+		{"BankPred", presets.BankPred},
+		{"Ctr", presets.Ctr},
+		{"Filter", presets.Filter},
+		{"Combined", presets.Combined},
+		{"Crit", presets.Crit},
+	}
+	for _, d := range presets.Delays() {
+		for _, b := range builders {
+			name := b.build(d)
+			if !listed[name] {
+				t.Errorf("%s(%d) = %q is not in Names()", b.label, d, name)
+			}
+		}
+	}
+	if !listed[presets.BaselineSingleLoad()] {
+		t.Errorf("BaselineSingleLoad() = %q is not in Names()", presets.BaselineSingleLoad())
+	}
+	if presets.Valid(presets.Baseline(3)) {
+		t.Error("Baseline(3) resolves; 3 is not a registered delay")
+	}
+	if got := presets.Delays(); len(got) != 4 || got[0] != 0 || got[3] != 6 {
+		t.Errorf("Delays() = %v, want [0 2 4 6]", got)
+	}
+}

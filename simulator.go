@@ -2,6 +2,8 @@ package specsched
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"specsched/internal/config"
@@ -116,23 +118,52 @@ func (s *Simulator) Run(ctx context.Context) (results.Run, error) {
 		return results.Run{}, wrapErrf(ErrUnknownWorkload,
 			"specsched: no workload selected (use WithWorkload or WithWorkloadSpec)")
 	}
-	stream, wpSeed, err := s.workload.build(s.seed, s.seedSet)
+	b, err := s.workload.build(s.seed, s.seedSet)
 	if err != nil {
 		return results.Run{}, err
 	}
-	c, err := core.New(cfg, stream, wpSeed)
+	if b.count > 0 && s.warmup+s.measure > b.count {
+		return results.Run{}, wrapErrf(ErrBadTrace,
+			"specsched: trace %q records %d µ-ops, window needs at least %d",
+			s.workload.name, b.count, s.warmup+s.measure)
+	}
+	c, err := core.New(cfg, b.stream, b.wpSeed)
 	if err != nil {
 		return results.Run{}, wrapErr(ErrInvalidConfig, err)
 	}
 	c.SetWorkloadName(s.workload.name)
 
 	if _, err := c.RunContext(ctx, s.warmup, 0); err != nil {
-		return results.Run{}, mapCtxErr(err)
+		return results.Run{}, s.mapRunErr(err, b)
 	}
 	start := time.Now()
 	r, err := c.RunContext(ctx, 0, s.measure)
 	if err != nil {
-		return results.Run{}, mapCtxErr(err)
+		return results.Run{}, s.mapRunErr(err, b)
+	}
+	if b.count > 0 && c.StreamExhausted() {
+		// The window committed, but fetch consumed the trace's final µ-op
+		// mid-window: fetch-ahead — and so the statistics — can differ
+		// from the live run. Bit-identity or failure, nothing in between.
+		return results.Run{}, wrapErrf(ErrBadTrace,
+			"specsched: trace %q (%d recorded µ-ops) ran dry inside the simulation window's fetch-ahead; record more slack",
+			s.workload.name, b.count)
 	}
 	return runFromStatsElapsed(r, time.Since(start)), nil
+}
+
+// mapRunErr lifts core errors into the public taxonomy: cancellation maps
+// to ErrCanceled; a stream that ran dry mid-window — only finite, i.e.
+// recorded, streams can — maps to ErrBadTrace, carrying the underlying
+// decode corruption when there is one.
+func (s *Simulator) mapRunErr(err error, b builtWorkload) error {
+	if errors.Is(err, core.ErrStreamEnded) {
+		if b.srcErr != nil && b.srcErr() != nil {
+			return wrapErr(ErrBadTrace, b.srcErr())
+		}
+		return wrapErr(ErrBadTrace, fmt.Errorf(
+			"specsched: trace %q (%d recorded µ-ops) ran dry inside the simulation window: %w",
+			s.workload.name, b.count, err))
+	}
+	return mapCtxErr(err)
 }

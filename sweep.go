@@ -10,11 +10,26 @@ import (
 	"time"
 
 	"specsched/internal/config"
+	"specsched/internal/core"
 	"specsched/internal/experiments"
 	"specsched/internal/sim"
 	"specsched/internal/stats"
 	"specsched/results"
 )
+
+// mapCellErr lifts per-cell simulation errors into the public taxonomy:
+// trace-caused failures match ErrBadTrace (exactly as the Simulator path
+// reports them), cancellation matches ErrCanceled, everything else passes
+// through.
+func mapCellErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, sim.ErrBadTrace) || errors.Is(err, core.ErrStreamEnded) {
+		return wrapErr(ErrBadTrace, err)
+	}
+	return mapCtxErr(err)
+}
 
 // CellRef names one cell of a sweep grid: a configuration preset, a
 // workload, and a seed-replica index (0 is the workload's calibrated
@@ -68,6 +83,7 @@ type Progress struct {
 type Sweep struct {
 	configs     []string
 	workloads   []string
+	traces      []string
 	seeds       int
 	jobs        int
 	warmup      int64
@@ -96,6 +112,19 @@ func SweepConfigs(names ...string) SweepOption {
 // suite).
 func SweepWorkloads(names ...string) SweepOption {
 	return func(s *Sweep) { s.workloads = append([]string(nil), names...) }
+}
+
+// SweepTraces adds recorded µ-op traces (see Workload.Record and
+// cmd/tracedump) as sweep workloads, each named after its file stem
+// ("corpus/mcf.trace" → "mcf"). With no SweepWorkloads the grid runs over
+// the traces alone; with one, the trace names are appended to the axis. A
+// trace name shadows the Table 2 profile of the same name. Each trace's
+// content digest joins the checkpoint fingerprint, so resuming against a
+// swapped trace file is rejected instead of mixing results. Seed replicas
+// of a trace cell vary the wrong-path seed only (the recorded stream is
+// fixed); replica 0 replays bit-identically to the live workload.
+func SweepTraces(paths ...string) SweepOption {
+	return func(s *Sweep) { s.traces = append(s.traces, paths...) }
 }
 
 // SweepSeeds sets the number of seed replicas per (config, workload) cell
@@ -143,23 +172,80 @@ func NewSweep(opts ...SweepOption) *Sweep {
 	return s
 }
 
+// loadTraces resolves the sweep's trace paths into a trace set plus the
+// ordered trace workload names, validating every header up front.
+func (s *Sweep) loadTraces() (sim.TraceSet, []string, error) {
+	if len(s.traces) == 0 {
+		return nil, nil, nil
+	}
+	set := make(sim.TraceSet, len(s.traces))
+	names := make([]string, 0, len(s.traces))
+	for _, path := range s.traces {
+		ref, err := sim.LoadTrace(path)
+		if err != nil {
+			return nil, nil, wrapErr(ErrBadTrace, err)
+		}
+		if prev, dup := set[ref.Name]; dup {
+			return nil, nil, wrapErrf(ErrInvalidConfig,
+				"specsched: traces %s and %s both name workload %q", prev.Path, ref.Path, ref.Name)
+		}
+		set[ref.Name] = ref
+		names = append(names, ref.Name)
+	}
+	return set, names, nil
+}
+
+// workloadAxis resolves the effective workload list: the explicit
+// SweepWorkloads (validated as Table 2 profiles unless a trace shadows the
+// name) plus any trace workloads not already listed; with no explicit list
+// the axis is the traces alone, or the full suite when there are none.
+func (s *Sweep) workloadAxis(traces sim.TraceSet, traceNames []string) ([]string, error) {
+	if len(s.workloads) == 0 {
+		if len(traceNames) > 0 {
+			return append([]string(nil), traceNames...), nil
+		}
+		return WorkloadNames(), nil
+	}
+	wls := append([]string(nil), s.workloads...)
+	for _, n := range wls {
+		if _, ok := traces[n]; ok {
+			continue
+		}
+		if err := validateWorkloads([]string{n}); err != nil {
+			return nil, err
+		}
+	}
+	listed := make(map[string]bool, len(wls))
+	for _, n := range wls {
+		listed[n] = true
+	}
+	for _, n := range traceNames {
+		if !listed[n] {
+			wls = append(wls, n)
+		}
+	}
+	return wls, nil
+}
+
 // grid validates the sweep options and expands them into the cell grid, in
-// deterministic grid order (configs outermost, then workloads, then seeds).
-func (s *Sweep) grid() ([]sim.Cell, error) {
+// deterministic grid order (configs outermost, then workloads, then
+// seeds), alongside the trace set backing any trace workloads.
+func (s *Sweep) grid() ([]sim.Cell, sim.TraceSet, error) {
 	if len(s.configs) == 0 {
-		return nil, wrapErrf(ErrInvalidConfig,
+		return nil, nil, wrapErrf(ErrInvalidConfig,
 			"specsched: sweep has no configurations (use SweepConfigs)")
 	}
 	impl, err := s.scheduler.impl()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	wls := s.workloads
-	if len(wls) == 0 {
-		wls = WorkloadNames()
+	traces, traceNames, err := s.loadTraces()
+	if err != nil {
+		return nil, nil, err
 	}
-	if err := validateWorkloads(wls); err != nil {
-		return nil, err
+	wls, err := s.workloadAxis(traces, traceNames)
+	if err != nil {
+		return nil, nil, err
 	}
 	seeds := s.seeds
 	if seeds <= 0 {
@@ -169,7 +255,7 @@ func (s *Sweep) grid() ([]sim.Cell, error) {
 	for _, cn := range s.configs {
 		cfg, err := config.Preset(cn)
 		if err != nil {
-			return nil, wrapErr(ErrInvalidConfig, err)
+			return nil, nil, wrapErr(ErrInvalidConfig, err)
 		}
 		cfg.Scheduler = impl
 		if s.timeSkip != nil {
@@ -181,19 +267,19 @@ func (s *Sweep) grid() ([]sim.Cell, error) {
 			}
 		}
 	}
-	return cells, nil
+	return cells, traces, nil
 }
 
 // runPool executes the cells on the work-stealing pool, streaming each
 // finished cell to onResult (which may be nil), recording completions into
 // the checkpoint, and flushing it before returning — including on
 // cancellation, which is what keeps an interrupted sweep resumable.
-func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, onResult func(sim.Result)) ([]sim.Result, error) {
+func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceSet, onResult func(sim.Result)) ([]sim.Result, error) {
 	var cp *sim.Checkpoint
 	if s.checkpoint != "" {
 		impl, _ := s.scheduler.impl()
 		var err error
-		cp, err = sim.LoadCheckpoint(s.checkpoint, sim.Fingerprint(s.warmup, s.measure, impl))
+		cp, err = sim.LoadCheckpoint(s.checkpoint, sim.FingerprintTraces(s.warmup, s.measure, impl, traces))
 		if err != nil {
 			return nil, wrapErr(ErrInvalidConfig, err)
 		}
@@ -206,7 +292,7 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, onResult func(sim
 	}
 	pool.OnProgress = s.progressAdapter()
 	res := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
-		return sim.Simulate(ctx, c, s.warmup, s.measure)
+		return sim.SimulateCell(ctx, c, s.warmup, s.measure, traces)
 	})
 
 	var executed int64
@@ -260,7 +346,7 @@ func (s *Sweep) progressAdapter() func(sim.Progress) {
 		fn(Progress{
 			Done: p.Done, Total: p.Total, Failed: p.Failed, Cached: p.Cached,
 			Cell:    CellRef{Config: p.Cell.Config.Name, Workload: p.Cell.Workload, Seed: p.Cell.SeedIdx},
-			Err:     mapCtxErr(p.CellErr),
+			Err:     mapCellErr(p.CellErr),
 			IsCache: p.CellCached,
 			Elapsed: time.Duration(p.Elapsed * float64(time.Second)),
 		})
@@ -271,7 +357,7 @@ func (s *Sweep) progressAdapter() func(sim.Progress) {
 func toCell(r sim.Result) Cell {
 	c := Cell{
 		CellRef: CellRef{Config: r.Cell.Config.Name, Workload: r.Cell.Workload, Seed: r.Cell.SeedIdx},
-		Err:     mapCtxErr(r.Err),
+		Err:     mapCellErr(r.Err),
 		Cached:  r.Cached,
 	}
 	if r.Run != nil {
@@ -287,11 +373,11 @@ func toCell(r sim.Result) Cell {
 // or the context was canceled (matching ErrCanceled, with the completed
 // cells still present in the slice and, if configured, the checkpoint).
 func (s *Sweep) Run(ctx context.Context) ([]Cell, error) {
-	cells, err := s.grid()
+	cells, traces, err := s.grid()
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runPool(ctx, cells, nil)
+	res, err := s.runPool(ctx, cells, traces, nil)
 	if res == nil {
 		return nil, err
 	}
@@ -314,7 +400,7 @@ func (s *Sweep) Run(ctx context.Context) ([]Cell, error) {
 // coordinates, bit-identical counters — only the order differs.
 func (s *Sweep) Results(ctx context.Context) iter.Seq2[Cell, error] {
 	return func(yield func(Cell, error) bool) {
-		cells, err := s.grid()
+		cells, traces, err := s.grid()
 		if err != nil {
 			yield(Cell{}, err)
 			return
@@ -329,7 +415,7 @@ func (s *Sweep) Results(ctx context.Context) iter.Seq2[Cell, error] {
 		errc := make(chan error, 1)
 		go func() {
 			defer close(ch)
-			_, err := s.runPool(inner, cells, func(r sim.Result) { ch <- r })
+			_, err := s.runPool(inner, cells, traces, func(r sim.Result) { ch <- r })
 			errc <- err
 		}()
 
@@ -338,7 +424,7 @@ func (s *Sweep) Results(ctx context.Context) iter.Seq2[Cell, error] {
 			if stopped {
 				continue // drain so the pool's collector can finish
 			}
-			if !yield(toCell(r), mapCtxErr(r.Err)) {
+			if !yield(toCell(r), mapCellErr(r.Err)) {
 				stopped = true
 				cancel()
 			}
@@ -349,7 +435,7 @@ func (s *Sweep) Results(ctx context.Context) iter.Seq2[Cell, error] {
 			// condition (cancellation, checkpoint failure) warrants a final
 			// error element.
 			if !errors.Is(err, errCellsFailed) {
-				yield(Cell{}, mapCtxErr(err))
+				yield(Cell{}, mapCellErr(err))
 			}
 		}
 	}
@@ -391,17 +477,23 @@ func (s *Sweep) reportRunner() (*experiments.Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	wls := s.workloads
-	if len(wls) == 0 {
-		wls = WorkloadNames()
-	}
-	if err := validateWorkloads(wls); err != nil {
+	traces, traceNames, err := s.loadTraces()
+	if err != nil {
 		return nil, err
+	}
+	wls, err := s.workloadAxis(traces, traceNames)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]sim.TraceRef, 0, len(traceNames))
+	for _, n := range traceNames {
+		refs = append(refs, traces[n])
 	}
 	opts := experiments.Options{
 		Warmup:      s.warmup,
 		Measure:     s.measure,
 		Workloads:   wls,
+		Traces:      refs,
 		Parallel:    s.jobs,
 		Seeds:       s.seeds,
 		Scheduler:   impl,

@@ -1,9 +1,14 @@
 package specsched
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"os"
+	"sync"
 
 	"specsched/internal/trace"
+	"specsched/internal/traceio"
 	"specsched/internal/uop"
 )
 
@@ -116,15 +121,28 @@ func (p Profile) toTrace() trace.Profile {
 // with WithSeed); named profiles default to their calibrated seed instead.
 const kernelSeed = 7
 
+// builtWorkload is one realized workload instance: the µ-op stream, the
+// seed the wrong-path filler generator uses, a generator fingerprint for
+// trace recording, the stream's µ-op bound (0 = infinite), and — for
+// replayed traces — a probe distinguishing clean stream exhaustion from
+// mid-stream decode corruption.
+type builtWorkload struct {
+	stream uop.Stream
+	wpSeed uint64
+	gen    string
+	count  int64
+	srcErr func() error
+}
+
 // Workload selects the µ-op stream a Simulator runs: a named profile from
-// the Table 2 suite, a custom Profile, or one of the synthetic kernels.
-// The zero value selects nothing and fails at Run with ErrUnknownWorkload.
+// the Table 2 suite, a custom Profile, one of the synthetic kernels, or a
+// recorded trace. The zero value selects nothing and fails at Run with
+// ErrUnknownWorkload.
 type Workload struct {
 	name string
 	// build constructs the stream. seedSet reports whether seed overrides
-	// the workload's default; the returned uint64 seeds the wrong-path
-	// filler generator.
-	build func(seed uint64, seedSet bool) (uop.Stream, uint64, error)
+	// the workload's default.
+	build func(seed uint64, seedSet bool) (builtWorkload, error)
 }
 
 // Name returns the workload's display name ("" for the zero value).
@@ -134,30 +152,38 @@ func (w Workload) Name() string { return w.name }
 // name. The name is resolved when the workload is used; an unknown name
 // surfaces as ErrUnknownWorkload.
 func WorkloadByName(name string) Workload {
-	return Workload{name: name, build: func(seed uint64, seedSet bool) (uop.Stream, uint64, error) {
+	return Workload{name: name, build: func(seed uint64, seedSet bool) (builtWorkload, error) {
 		p, err := trace.ByName(name)
 		if err != nil {
-			return nil, 0, wrapErr(ErrUnknownWorkload, err)
+			return builtWorkload{}, wrapErr(ErrUnknownWorkload, err)
 		}
 		if seedSet {
 			p = p.WithSeed(seed)
 		}
-		return trace.New(p), p.Seed, nil
+		return builtWorkload{
+			stream: trace.New(p),
+			wpSeed: p.Seed,
+			gen:    fmt.Sprintf("profile:%s seed=%d", name, p.Seed),
+		}, nil
 	}}
 }
 
 // CustomWorkload builds a workload from a custom synthetic profile. An
 // invalid profile surfaces as ErrInvalidConfig when the workload is used.
 func CustomWorkload(p Profile) Workload {
-	return Workload{name: p.Name, build: func(seed uint64, seedSet bool) (uop.Stream, uint64, error) {
+	return Workload{name: p.Name, build: func(seed uint64, seedSet bool) (builtWorkload, error) {
 		tp := p.toTrace()
 		if seedSet {
 			tp = tp.WithSeed(seed)
 		}
 		if err := tp.Validate(); err != nil {
-			return nil, 0, wrapErr(ErrInvalidConfig, err)
+			return builtWorkload{}, wrapErr(ErrInvalidConfig, err)
 		}
-		return trace.New(tp), tp.Seed, nil
+		return builtWorkload{
+			stream: trace.New(tp),
+			wpSeed: tp.Seed,
+			gen:    fmt.Sprintf("custom:%s seed=%d", tp.Name, tp.Seed),
+		}, nil
 	}}
 }
 
@@ -166,8 +192,12 @@ func CustomWorkload(p Profile) Workload {
 // the pattern Schedule Shifting (§5.1) absorbs. footprint is the per-array
 // working set in bytes.
 func StencilWorkload(footprint int) Workload {
-	return Workload{name: "stencil", build: func(seed uint64, seedSet bool) (uop.Stream, uint64, error) {
-		return trace.NewStencil(footprint), orDefault(seed, seedSet), nil
+	return Workload{name: "stencil", build: func(seed uint64, seedSet bool) (builtWorkload, error) {
+		return builtWorkload{
+			stream: trace.NewStencil(footprint),
+			wpSeed: orDefault(seed, seedSet),
+			gen:    fmt.Sprintf("kernel:stencil footprint=%d", footprint),
+		}, nil
 	}}
 }
 
@@ -175,8 +205,12 @@ func StencilWorkload(footprint int) Workload {
 // bytes: sequential loads with a loop-carried dependence only through the
 // accumulator.
 func StreamWorkload(footprint int) Workload {
-	return Workload{name: "stream", build: func(seed uint64, seedSet bool) (uop.Stream, uint64, error) {
-		return trace.NewStreamSum(footprint), orDefault(seed, seedSet), nil
+	return Workload{name: "stream", build: func(seed uint64, seedSet bool) (builtWorkload, error) {
+		return builtWorkload{
+			stream: trace.NewStreamSum(footprint),
+			wpSeed: orDefault(seed, seedSet),
+			gen:    fmt.Sprintf("kernel:stream footprint=%d", footprint),
+		}, nil
 	}}
 }
 
@@ -184,9 +218,13 @@ func StreamWorkload(footprint int) Workload {
 // every load's address depends on the previous load's value, the
 // worst case for load-to-use latency.
 func PointerChaseWorkload(nodes int) Workload {
-	return Workload{name: "chase", build: func(seed uint64, seedSet bool) (uop.Stream, uint64, error) {
+	return Workload{name: "chase", build: func(seed uint64, seedSet bool) (builtWorkload, error) {
 		s := orDefault(seed, seedSet)
-		return trace.NewPointerChase(s, nodes), s, nil
+		return builtWorkload{
+			stream: trace.NewPointerChase(s, nodes),
+			wpSeed: s,
+			gen:    fmt.Sprintf("kernel:chase nodes=%d seed=%d", nodes, s),
+		}, nil
 	}}
 }
 
@@ -197,6 +235,156 @@ func orDefault(seed uint64, seedSet bool) uint64 {
 	return kernelSeed
 }
 
+// buildTraceStream decodes an in-memory trace into a built workload. An
+// explicit WithSeed overrides the recorded wrong-path seed (the
+// correct-path stream is fixed by the file); without one, replay
+// reproduces the recording workload's statistics bit for bit.
+func buildTraceStream(data []byte, seed uint64, seedSet bool) (builtWorkload, error) {
+	d, err := traceio.NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		return builtWorkload{}, wrapErr(ErrBadTrace, err)
+	}
+	h := d.Header()
+	wpSeed := h.WrongPathSeed
+	if seedSet {
+		wpSeed = seed
+	}
+	return builtWorkload{
+		stream: d,
+		wpSeed: wpSeed,
+		gen:    h.Generator,
+		count:  h.Count,
+		srcErr: d.Err,
+	}, nil
+}
+
+// TraceWorkload replays a recorded µ-op trace (see Workload.Record and
+// cmd/tracedump). Replaying an uncorrupted trace of a workload produces a
+// Run bit-identical to simulating that workload live; the file is
+// re-opened on every use, so the workload is reusable like any other. An
+// unusable file surfaces as ErrBadTrace when the workload is used.
+func TraceWorkload(path string) Workload {
+	return Workload{name: traceio.WorkloadName(path), build: func(seed uint64, seedSet bool) (builtWorkload, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return builtWorkload{}, wrapErr(ErrBadTrace, err)
+		}
+		return buildTraceStream(data, seed, seedSet)
+	}}
+}
+
+// TraceWorkloadReader is TraceWorkload over any reader — an embedded
+// asset, a network body, an in-memory recording. The reader is drained
+// once, on first use, and the bytes are retained so the workload stays
+// reusable.
+func TraceWorkloadReader(r io.Reader) Workload {
+	load := sync.OnceValues(func() ([]byte, error) { return io.ReadAll(r) })
+	return Workload{name: "trace", build: func(seed uint64, seedSet bool) (builtWorkload, error) {
+		data, err := load()
+		if err != nil {
+			return builtWorkload{}, wrapErr(ErrBadTrace, err)
+		}
+		return buildTraceStream(data, seed, seedSet)
+	}}
+}
+
+// RecordTo records the first n µ-ops of the workload's dynamic stream as
+// a binary trace on dst (see DESIGN.md §9 for the format). The recording
+// captures everything replay needs for bit-identity — including the
+// wrong-path generator seed — so TraceWorkload on the result simulates
+// exactly like the live workload. For workloads that are themselves
+// recorded traces, n <= 0 means "the whole trace", and re-recording one
+// reproduces it byte for byte.
+func (w Workload) RecordTo(dst io.Writer, n int64) error {
+	if w.build == nil {
+		return wrapErrf(ErrUnknownWorkload, "specsched: no workload selected")
+	}
+	b, err := w.build(0, false)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		n = b.count
+	}
+	if n <= 0 {
+		return wrapErrf(ErrInvalidConfig,
+			"specsched: recording an unbounded workload needs an explicit µ-op count")
+	}
+	if _, err := traceio.Record(dst, b.stream, n, b.gen, b.wpSeed); err != nil {
+		if b.srcErr != nil && b.srcErr() != nil {
+			return wrapErr(ErrBadTrace, b.srcErr())
+		}
+		return wrapErr(ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// Record is RecordTo into a file, created (or truncated) at path. On
+// error the partial file is removed.
+func (w Workload) Record(path string, n int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return wrapErr(ErrInvalidConfig, err)
+	}
+	if err := w.RecordTo(f, n); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return wrapErr(ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// TraceInfo is the self-describing front matter of a recorded trace.
+type TraceInfo struct {
+	// Version is the trace format version the file was written with.
+	Version int
+	// Generator fingerprints what produced the stream (e.g.
+	// "profile:gzip seed=1001"); re-recording preserves it.
+	Generator string
+	// UOps is the number of µ-ops recorded.
+	UOps int64
+	// Digest is the FNV-64a digest of the encoded µ-op payload — the
+	// identity sweep checkpoints use to detect swapped trace files.
+	Digest uint64
+	// WrongPathSeed seeds wrong-path fetch at replay, reproducing the
+	// recording workload's wrong-path behaviour bit for bit.
+	WrongPathSeed uint64
+}
+
+// ReadTraceInfo reads and validates a trace's header without decoding its
+// body. Unreadable or non-trace files surface as ErrBadTrace.
+func ReadTraceInfo(path string) (TraceInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceInfo{}, wrapErr(ErrBadTrace, err)
+	}
+	defer f.Close()
+	h, err := traceio.ReadInfo(f)
+	if err != nil {
+		return TraceInfo{}, wrapErr(ErrBadTrace, err)
+	}
+	return traceInfoFromHeader(h), nil
+}
+
+// VerifyTrace fully decodes the trace at path, checking every record, the
+// µ-op count, and the body digest. Any corruption surfaces as ErrBadTrace.
+func VerifyTrace(path string) (TraceInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TraceInfo{}, wrapErr(ErrBadTrace, err)
+	}
+	defer f.Close()
+	h, err := traceio.Verify(f)
+	if err != nil {
+		return TraceInfo{}, wrapErr(ErrBadTrace, err)
+	}
+	return traceInfoFromHeader(h), nil
+}
+
 // Trace renders the first n µ-ops of the workload's dynamic stream, one
 // formatted µ-op per element — the inspection hook behind cmd/tracedump.
 // Streams over before n µ-ops return what was produced.
@@ -204,14 +392,17 @@ func (w Workload) Trace(n int) ([]string, error) {
 	if w.build == nil {
 		return nil, wrapErrf(ErrUnknownWorkload, "specsched: no workload selected")
 	}
-	s, _, err := w.build(0, false)
+	b, err := w.build(0, false)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, 0, n)
+	out := make([]string, 0, min(n, 4096))
 	for i := 0; i < n; i++ {
-		u, ok := s.Next()
+		u, ok := b.stream.Next()
 		if !ok {
+			if b.srcErr != nil && b.srcErr() != nil {
+				return out, wrapErr(ErrBadTrace, b.srcErr())
+			}
 			break
 		}
 		out = append(out, u.String())
