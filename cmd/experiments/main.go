@@ -8,7 +8,9 @@
 //	experiments [-exp all|table1,fig5,...] [-list]
 //	            [-measure N] [-warmup N] [-workloads a,b,c] [-filter REGEX]
 //	            [-trace GLOB] [-jobs N] [-seeds N] [-timeout DUR]
-//	            [-timeskip=false] [-resume FILE] [-json FILE] [-progress]
+//	            [-stall-timeout DUR] [-retries N] [-retry-backoff DUR]
+//	            [-chaos RATE] [-chaos-seed N] [-timeskip=false]
+//	            [-resume FILE] [-json FILE] [-progress]
 //
 // Each report prints the same rows/series the paper reports, normalized the
 // same way (per-benchmark vs Baseline_0, geometric means); paper reference
@@ -25,6 +27,26 @@
 //	          with them, the traces are appended to the workload axis
 //	          (a trace name shadows the same-named profile)
 //	-timeout  per-cell wall-clock bound; a diverging cell fails alone
+//	-stall-timeout
+//	          per-cell stall watchdog: a cell whose simulated-cycle
+//	          counter stops advancing for this long is killed early (slow
+//	          but progressing cells are spared; 0 = disabled)
+//	-retries  attempt budget per cell (default 1 = no retries); only
+//	          transient failures — panics, timeouts, stalls — are
+//	          retried, deterministic ones (bad trace, bad config) fail
+//	          immediately
+//	-retry-backoff
+//	          delay before the first retry, doubling per attempt
+//	          (default 100ms, capped at 32×)
+//	-chaos    deterministic fault-injection rate (0..1) for resilience
+//	          testing: each cell attempt panics or fails transiently with
+//	          this probability (plus hangs when -timeout/-stall-timeout
+//	          is set, and torn checkpoint writes when -resume is set),
+//	          decided by a pure function of -chaos-seed and the cell, so
+//	          reruns inject identical faults. Results stay bit-identical
+//	          to a fault-free run; use with -retries 3 or more
+//	-chaos-seed
+//	          seed for the -chaos plan (default 1)
 //	-timeskip quiescent-cycle skipping (default true): advance simulated
 //	          time event-to-event over provably dead cycles; results are
 //	          bit-identical either way, only simulator speed changes.
@@ -103,6 +125,11 @@ func main() {
 	jobs := flag.Int("jobs", 0, "sweep worker goroutines (default: GOMAXPROCS)")
 	seeds := flag.Int("seeds", 1, "seed replicas per (config, workload) cell, pooled")
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "kill cells whose simulated-cycle counter freezes this long (0 = disabled)")
+	retries := flag.Int("retries", 1, "attempt budget per cell; transient failures retry, deterministic ones fail fast")
+	retryBackoff := flag.Duration("retry-backoff", 0, "delay before the first retry, doubling per attempt (0 = 100ms default)")
+	chaosRate := flag.Float64("chaos", 0, "deterministic fault-injection rate per cell attempt (0..1; testing only)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the -chaos fault plan")
 	timeskip := flag.Bool("timeskip", true, "skip provably quiescent cycles event-to-event (bit-identical; off = per-cycle stepping)")
 	resume := flag.String("resume", "", "resumable sweep checkpoint file (created if missing)")
 	jsonOut := flag.String("json", "", "write reports and per-cell runs as JSON to this file")
@@ -167,8 +194,33 @@ func main() {
 		specsched.SweepJobs(*jobs),
 		specsched.SweepSeeds(*seeds),
 		specsched.SweepCellTimeout(*timeout),
+		specsched.SweepStallTimeout(*stallTimeout),
+		specsched.SweepRetries(*retries),
+		specsched.SweepRetryBackoff(*retryBackoff, 0),
 		specsched.SweepCheckpoint(*resume),
 		specsched.SweepTimeSkip(*timeskip),
+	}
+	if *chaosRate < 0 || *chaosRate > 1 {
+		fatalf("-chaos %v out of range [0,1]", *chaosRate)
+	}
+	if *chaosRate > 0 {
+		chaos := specsched.Chaos{
+			Seed:          *chaosSeed,
+			PanicRate:     *chaosRate,
+			TransientRate: *chaosRate,
+		}
+		// Hangs are only recoverable when something bounds the cell, and
+		// torn checkpoint writes only matter when a checkpoint exists.
+		if *timeout > 0 || *stallTimeout > 0 {
+			chaos.HangRate = *chaosRate
+		}
+		if *resume != "" {
+			chaos.TornWriteRate = *chaosRate
+		}
+		opts = append(opts, specsched.SweepChaos(chaos))
+		if *retries <= 1 {
+			fmt.Fprintln(os.Stderr, "experiments: warning: -chaos without -retries > 1 will fail injected cells permanently")
+		}
 	}
 	switch {
 	case len(tracePaths) > 0 && !explicitWls:
@@ -187,6 +239,9 @@ func main() {
 			}
 			if p.Err != nil {
 				state = "FAILED"
+			}
+			if p.Attempts > 1 {
+				state += fmt.Sprintf(" (attempt %d)", p.Attempts)
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %s\n", p.Done, p.Total, p.Cell, state)
 		}))
@@ -233,6 +288,29 @@ func main() {
 		rep.Reports = append(rep.Reports, jsonExperiment{Name: name, Report: out})
 	}
 	elapsed := time.Since(start)
+
+	// End-of-run resilience summary: what failed for good, what the retry
+	// machinery recovered, and whether the resume checkpoint needed
+	// salvaging. Silent when nothing noteworthy happened.
+	fr := sweep.FailureReport()
+	if fr.CheckpointSalvage != "" {
+		fmt.Fprintf(os.Stderr, "experiments: checkpoint salvaged: %s\n", fr.CheckpointSalvage)
+	}
+	if fr.Retries > 0 || fr.Abandoned > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: resilience: %d retries, %d cells recovered, %d goroutines abandoned\n",
+			fr.Retries, fr.Recovered, fr.Abandoned)
+	}
+	if len(fr.Failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d cells failed permanently:\n", len(fr.Failed))
+		for _, f := range fr.Failed {
+			kind := "permanent"
+			if f.Transient {
+				kind = "transient; raise -retries"
+			}
+			fmt.Fprintf(os.Stderr, "  %-40s attempts=%d (%s): %v\n", f.Cell, f.Attempts, kind, f.Err)
+		}
+	}
+
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted — completed cells are preserved")
 		if *resume != "" {

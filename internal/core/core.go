@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"specsched/internal/bpred"
 	"specsched/internal/cache"
@@ -140,6 +141,11 @@ type Core struct {
 	committed     int64 // total committed µ-ops since construction
 	lastCommitted int64 // deadlock watchdog
 	lastProgress  int64
+
+	// heartbeat, when non-nil, receives the current simulated cycle at
+	// every cancellation poll of the step loop (see SetHeartbeat) — the
+	// liveness signal behind the sweep pool's stall watchdog.
+	heartbeat *atomic.Int64
 
 	// streamDone records that the correct-path µ-op stream reported
 	// exhaustion. The experiment streams are infinite, but recorded traces
@@ -299,6 +305,16 @@ func MustNew(cfg config.CoreConfig, stream uop.Stream, wpSeed uint64) *Core {
 // SetWorkloadName labels the statistics record.
 func (c *Core) SetWorkloadName(name string) { c.run.Workload = name }
 
+// SetHeartbeat registers a counter the step loop stores the current
+// simulated cycle into, piggybacked on the existing cancellation poll
+// (every cancelPollCycles busy cycles, so it costs nothing extra on the
+// hot path, and only with a cancelable context). A watchdog reading the
+// counter can distinguish a slow-but-progressing cell (heartbeats advance)
+// from a hung one (heartbeats freeze): a core stuck inside a single Step —
+// or a cell stuck before the core ever starts stepping — never advances
+// it. Pass nil to detach.
+func (c *Core) SetHeartbeat(hb *atomic.Int64) { c.heartbeat = hb }
+
 // Stats returns the live statistics record for the current measurement
 // window.
 func (c *Core) Stats() *stats.Run { return c.run }
@@ -411,11 +427,19 @@ func (c *Core) stepTo(ctx context.Context, targetCommitted int64) error {
 	cancelable := ctx.Done() != nil
 	poll := cancelPollCycles
 	c.lastProgress = c.cycle
+	if hb := c.heartbeat; hb != nil && cancelable {
+		// First beat before the first step: "simulation has started" is
+		// itself progress a watchdog should see.
+		hb.Store(c.cycle)
+	}
 	for c.committed < targetCommitted {
 		if cancelable {
 			if poll--; poll <= 0 {
 				if ctx.Err() != nil {
 					return context.Cause(ctx)
+				}
+				if hb := c.heartbeat; hb != nil {
+					hb.Store(c.cycle)
 				}
 				poll = cancelPollCycles
 			}

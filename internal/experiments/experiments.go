@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"specsched/internal/config"
+	"specsched/internal/faultinject"
 	"specsched/internal/sim"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
@@ -57,6 +58,20 @@ type Options struct {
 	// CellTimeout bounds one cell's wall clock (0 = unbounded); a timed
 	// out cell fails alone, the sweep continues.
 	CellTimeout time.Duration
+	// StallTimeout arms the pool's stall watchdog (see sim.Pool): a cell
+	// whose simulated-cycle heartbeat freezes for this long fails early
+	// with sim.ErrCellStalled instead of waiting out CellTimeout.
+	StallTimeout time.Duration
+	// MaxAttempts, RetryBackoff, MaxRetryBackoff, and AbandonBudget are
+	// the pool's retry policy for transient cell failures (see sim.Pool;
+	// zero values select the pool defaults, MaxAttempts 0/1 = no retry).
+	MaxAttempts     int
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	AbandonBudget   int
+	// Chaos, when set, injects the plan's deterministic faults into cells
+	// and checkpoint flushes — the CLI's -chaos flags.
+	Chaos *faultinject.Plan
 	// Checkpoint names a resumable sweep-checkpoint JSON file ("" =
 	// disabled): completed cells are recorded there and an interrupted
 	// sweep restarted with the same options skips them.
@@ -112,6 +127,29 @@ type Runner struct {
 	// per executed cell; checkpoint-cached cells excluded) — the
 	// numerator of Minsts/sec throughput reports.
 	simulated int64
+	// abandoned accumulates goroutines the runner's pools abandoned to
+	// timeouts and stalls, across every grid it has run.
+	abandoned int
+}
+
+// Abandoned returns how many goroutines this runner's sweeps have
+// abandoned to timeouts and stalls so far.
+func (r *Runner) Abandoned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.abandoned
+}
+
+// CheckpointSalvage reports what LoadCheckpoint had to salvage from a
+// damaged resume checkpoint ("" when the load was clean or no checkpoint
+// is configured).
+func (r *Runner) CheckpointSalvage() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ckpt == nil || r.ckpt.Salvage() == nil {
+		return ""
+	}
+	return r.ckpt.Salvage().String()
 }
 
 // SimulatedUOps returns the total µ-ops simulated so far (including
@@ -157,6 +195,7 @@ func (r *Runner) checkpoint() (*sim.Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	cp.SetChaos(r.opts.Chaos)
 	r.ckpt = cp
 	return cp, nil
 }
@@ -186,14 +225,25 @@ func (r *Runner) runGrid(ctx context.Context, cfgs []config.CoreConfig) (map[str
 		return nil, err
 	}
 	pool := &sim.Pool{
-		Jobs:        r.opts.Parallel,
-		CellTimeout: r.opts.CellTimeout,
-		Checkpoint:  cp,
-		OnProgress:  r.opts.OnProgress,
+		Jobs:            r.opts.Parallel,
+		CellTimeout:     r.opts.CellTimeout,
+		StallTimeout:    r.opts.StallTimeout,
+		MaxAttempts:     r.opts.MaxAttempts,
+		RetryBackoff:    r.opts.RetryBackoff,
+		MaxRetryBackoff: r.opts.MaxRetryBackoff,
+		AbandonBudget:   r.opts.AbandonBudget,
+		Chaos:           r.opts.Chaos,
+		Checkpoint:      cp,
+		OnProgress:      r.opts.OnProgress,
 	}
 	results := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
 		return sim.SimulateCell(ctx, c, r.opts.Warmup, r.opts.Measure, r.traces)
 	})
+	defer func() {
+		r.mu.Lock()
+		r.abandoned += pool.Abandoned()
+		r.mu.Unlock()
+	}()
 
 	out := make(map[string]*stats.Run)
 	var failures []string

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestPlanDeterminism: two plans built from the same seed and rates must
+// produce the identical fault schedule — the property the whole chaos
+// suite leans on.
+func TestPlanDeterminism(t *testing.T) {
+	mk := func() *Plan {
+		return &Plan{Seed: 42, PanicRate: 0.2, HangRate: 0.2, TransientRate: 0.2, CorruptTraceRate: 0.1}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cfg%d\x00wl%d\x000", i%7, i%13)
+		for attempt := 1; attempt <= 3; attempt++ {
+			if a.Cell(key, attempt) != b.Cell(key, attempt) {
+				t.Fatalf("plan not deterministic at key %q attempt %d", key, attempt)
+			}
+		}
+	}
+	for f := 0; f < 64; f++ {
+		if a.Torn(f) != b.Torn(f) {
+			t.Fatalf("torn-write schedule not deterministic at flush %d", f)
+		}
+	}
+}
+
+// TestPlanSeedsDiffer: different seeds must give different schedules (not
+// a constant function).
+func TestPlanSeedsDiffer(t *testing.T) {
+	a := &Plan{Seed: 1, TransientRate: 0.5}
+	b := &Plan{Seed: 2, TransientRate: 0.5}
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		if a.Cell(key, 1) != b.Cell(key, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("64 draws identical across different seeds")
+	}
+}
+
+// TestPlanRates: over many keys the empirical fault fraction must track
+// the configured rates (loose bounds; the draw is hash-uniform).
+func TestPlanRates(t *testing.T) {
+	p := &Plan{Seed: 7, PanicRate: 0.1, HangRate: 0.1, TransientRate: 0.3}
+	counts := map[Kind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[p.Cell(fmt.Sprintf("k%d", i), 1)]++
+	}
+	check := func(k Kind, want float64) {
+		got := float64(counts[k]) / n
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("%s rate = %.3f, want ~%.3f", k, got, want)
+		}
+	}
+	check(Panic, 0.1)
+	check(Hang, 0.1)
+	check(Transient, 0.3)
+	check(None, 0.5)
+	if counts[CorruptTrace] != 0 {
+		t.Errorf("corrupt-trace injected with zero rate")
+	}
+}
+
+// TestMaxFaultsPerCell: attempts beyond the bound never fault, so retries
+// past it always converge.
+func TestMaxFaultsPerCell(t *testing.T) {
+	p := &Plan{Seed: 3, TransientRate: 1}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		if p.Cell(key, 1) != Transient || p.Cell(key, 2) != Transient {
+			t.Fatalf("rate-1 plan must fault attempts 1..2 of %q", key)
+		}
+		if got := p.Cell(key, 3); got != None {
+			t.Fatalf("attempt 3 of %q = %s, want none (default MaxFaultsPerCell=2)", key, got)
+		}
+	}
+	p.MaxFaultsPerCell = 1
+	if p.Cell("x", 2) != None {
+		t.Fatal("attempt 2 faulted with MaxFaultsPerCell=1")
+	}
+}
+
+// TestNilAndZeroPlans inject nothing.
+func TestNilAndZeroPlans(t *testing.T) {
+	var nilPlan *Plan
+	zero := &Plan{Seed: 99}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if nilPlan.Cell(key, 1) != None || zero.Cell(key, 1) != None {
+			t.Fatal("nil/zero plan injected a cell fault")
+		}
+		if nilPlan.Torn(i) || zero.Torn(i) {
+			t.Fatal("nil/zero plan tore a write")
+		}
+	}
+	if nilPlan.Enabled() || zero.Enabled() {
+		t.Fatal("nil/zero plan reports Enabled")
+	}
+}
+
+// TestCorrupt: deterministic, flips exactly one byte, leaves the input
+// untouched.
+func TestCorrupt(t *testing.T) {
+	p := &Plan{Seed: 11}
+	orig := []byte("specsched checkpoint body, reasonably long to give positions room")
+	keep := append([]byte(nil), orig...)
+	a := p.Corrupt(orig, "trace:gzip")
+	b := p.Corrupt(orig, "trace:gzip")
+	if !bytes.Equal(a, b) {
+		t.Fatal("Corrupt not deterministic")
+	}
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	diff := 0
+	for i := range orig {
+		if a[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("Corrupt changed %d bytes, want 1", diff)
+	}
+	if c := p.Corrupt(orig, "other-key"); bytes.Equal(c, a) {
+		t.Log("note: two keys hit the same position (possible, not fatal)")
+	}
+	if got := p.Corrupt(nil, "k"); len(got) != 0 {
+		t.Fatal("Corrupt of empty input must stay empty")
+	}
+}
+
+// TestTransientClassification: the injected transient error must be
+// recognizable both by errors.Is and by the Transient() interface the
+// pool's classifier uses.
+func TestTransientClassification(t *testing.T) {
+	wrapped := fmt.Errorf("cell gzip#0: %w", ErrTransient)
+	if !errors.Is(wrapped, ErrTransient) {
+		t.Fatal("wrapped injected transient does not match ErrTransient")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(wrapped, &tr) || !tr.Transient() {
+		t.Fatal("injected transient does not classify via Transient()")
+	}
+}

@@ -1,40 +1,103 @@
 package sim
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io/fs"
+	"maps"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
+	"specsched/internal/faultinject"
 	"specsched/internal/stats"
 )
 
 // checkpointSchema versions the on-disk format; bump on incompatible
-// change.
-const checkpointSchema = "specsched-sweep-checkpoint/v1"
+// change. v2 is a line-oriented, self-checksummed format: a header line, a
+// record line per cell carrying its own FNV-64a digest, and a trailer with
+// the whole-body digest — so a torn or truncated file is detected, and
+// every intact record in it is still recoverable (see salvage below).
+const checkpointSchema = "specsched-sweep-checkpoint/v2"
+
+// checkpointSchemaV1 is recognized only to reject it with a clear message.
+const checkpointSchemaV1 = "specsched-sweep-checkpoint/v1"
 
 // flushEvery is how many newly recorded cells trigger an automatic flush.
 // Cells run for seconds, so an 8-cell granularity keeps the at-most-lost
 // work on an interrupt small without rewriting the file per cell.
 const flushEvery = 8
 
+// bakSuffix names the last-good rotation target: each flush first rotates
+// the current file aside, so a crash that tears the fresh write still
+// leaves the previous generation on disk for LoadCheckpoint to fall back
+// on.
+const bakSuffix = ".bak"
+
 // Checkpoint persists completed cells of a sweep so an interrupted run can
 // resume. The file carries a fingerprint of the sweep-wide options
 // (warmup, measure, scheduler implementation) and a per-cell digest of the
 // full configuration; a lookup only hits when both match, so stale or
 // foreign checkpoints can never contaminate results.
+//
+// Durability: flushes write to a temp file, fsync it, rotate the previous
+// checkpoint to .bak, rename the temp into place, and fsync the directory.
+// Record and Lookup never block on a flush — the writer snapshots the cell
+// map under the lock and does all marshaling and I/O outside it.
 type Checkpoint struct {
 	path        string
 	fingerprint string
 
+	// mu guards the in-memory state only; it is never held across
+	// marshaling or I/O.
 	mu      sync.Mutex
 	cells   map[string]checkpointEntry
 	dirty   int
 	saveErr error
+
+	// flushMu serializes whole flushes (snapshot → write → rename) so two
+	// concurrent flush triggers cannot interleave their renames.
+	flushMu sync.Mutex
+	flushes int
+
+	// chaos, when set, lets a fault plan tear individual flushes
+	// (truncated body, no fsync) — the reproducible stand-in for a crash
+	// mid-write.
+	chaos *faultinject.Plan
+
+	salvage *SalvageReport
 }
+
+// SalvageReport describes what a non-clean LoadCheckpoint recovered.
+type SalvageReport struct {
+	// PrimaryCells and BackupCells count digest-valid records recovered
+	// from the checkpoint file and from its .bak rotation respectively
+	// (a cell present in both counts once, under PrimaryCells).
+	PrimaryCells int
+	BackupCells  int
+	// DroppedLines counts damaged record lines skipped in either file.
+	DroppedLines int
+}
+
+func (s *SalvageReport) String() string {
+	return fmt.Sprintf("salvaged %d cells (+%d from %s, %d damaged lines dropped)",
+		s.PrimaryCells+s.BackupCells, s.BackupCells, bakSuffix, s.DroppedLines)
+}
+
+// Salvage returns a report when LoadCheckpoint had to recover this
+// checkpoint from a torn/truncated file or its .bak, and nil after a clean
+// load. Callers use it to tell the user a crash was absorbed.
+func (c *Checkpoint) Salvage() *SalvageReport { return c.salvage }
+
+// SetChaos installs a fault plan whose Torn schedule tears matching
+// flushes. Test/chaos hook; nil disables.
+func (c *Checkpoint) SetChaos(p *faultinject.Plan) { c.chaos = p }
 
 type checkpointEntry struct {
 	// Digest is the cell's config.CoreConfig.Digest() — the guard against
@@ -43,39 +106,196 @@ type checkpointEntry struct {
 	Run    *stats.Run `json:"run"`
 }
 
-type checkpointFile struct {
-	Schema      string                     `json:"schema"`
-	Fingerprint string                     `json:"fingerprint"`
-	Cells       map[string]checkpointEntry `json:"cells"`
+// checkpointHeader is the H line payload.
+type checkpointHeader struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
 }
 
-// LoadCheckpoint opens (or creates empty, if the file does not exist) the
-// checkpoint at path. A file written under a different fingerprint or
-// schema is an error: resuming it would silently mix results from
-// different sweep options.
+// checkpointRecord is the C line payload.
+type checkpointRecord struct {
+	Key string `json:"key"`
+	checkpointEntry
+}
+
+// fnvSum is FNV-64a over b, the record and body digest function.
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// LoadCheckpoint opens (or creates empty, if neither the file nor its .bak
+// exists) the checkpoint at path. A file written under a different
+// fingerprint or schema is an error: resuming it would silently mix
+// results from different sweep options. A torn, truncated, or otherwise
+// damaged file is NOT an error: every record whose own digest still
+// verifies is recovered, the .bak rotation (the previous good generation)
+// contributes any records the damaged file lost, and Salvage reports what
+// happened — an interrupted sweep resumes with everything provably intact
+// instead of refusing outright.
 func LoadCheckpoint(path, fingerprint string) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, fingerprint: fingerprint, cells: map[string]checkpointEntry{}}
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
+
+	primary, perr := readCheckpointFile(path, fingerprint)
+	if perr != nil && !errors.Is(perr, fs.ErrNotExist) && !errors.Is(perr, errCkptDamaged) {
+		// Foreign fingerprint, wrong schema, unreadable: hard errors.
+		return nil, perr
+	}
+	backup, berr := readCheckpointFile(path+bakSuffix, fingerprint)
+	if primary != nil && primary.clean {
+		// Clean primary: the normal path; the backup is irrelevant.
+		c.cells = primary.cells
 		return c, nil
 	}
+	if primary == nil && errors.Is(perr, fs.ErrNotExist) && backup == nil {
+		// Fresh checkpoint.
+		return c, nil
+	}
+
+	// Salvage: merge the backup generation (older) under the primary's
+	// surviving records (newer). A backup that failed fingerprint/schema
+	// checks or doesn't exist contributes nothing — and is not an error;
+	// only the primary decides hard failures above.
+	rep := &SalvageReport{}
+	merged := map[string]checkpointEntry{}
+	if backup != nil {
+		maps.Copy(merged, backup.cells)
+		rep.DroppedLines += backup.dropped
+	} else if berr != nil && !errors.Is(berr, fs.ErrNotExist) {
+		// Unusable .bak under a salvage load: note it as damage, carry on.
+		rep.DroppedLines++
+	}
+	if primary != nil {
+		rep.PrimaryCells = len(primary.cells)
+		rep.DroppedLines += primary.dropped
+		for k := range primary.cells {
+			delete(merged, k) // count overlaps under PrimaryCells only
+		}
+	}
+	rep.BackupCells = len(merged)
+	if primary != nil {
+		maps.Copy(merged, primary.cells)
+	}
+	c.cells = merged
+	c.salvage = rep
+	// Everything recovered is durably unflushed state now: mark it dirty
+	// so the next flush rewrites a clean generation.
+	c.dirty = len(c.cells)
+	return c, nil
+}
+
+// errCkptDamaged marks a checkpoint file that exists but could not be
+// verified end-to-end — the salvage trigger, never surfaced to callers.
+var errCkptDamaged = errors.New("sim: damaged checkpoint")
+
+// ckptFileState is one parsed checkpoint file.
+type ckptFileState struct {
+	cells   map[string]checkpointEntry
+	clean   bool // header, every record, and trailer all verified
+	dropped int  // damaged record lines skipped
+}
+
+// readCheckpointFile parses one checkpoint file. Hard errors (wrong
+// schema, foreign fingerprint, I/O) come back with a nil state; damage
+// (truncation, torn tail, bad record digests) comes back with the
+// recovered state and errCkptDamaged.
+func readCheckpointFile(path, fingerprint string) (*ckptFileState, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
 	}
-	var f checkpointFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("sim: checkpoint %s: empty file: %w", path, errCkptDamaged)
 	}
-	if f.Schema != checkpointSchema {
-		return nil, fmt.Errorf("sim: checkpoint %s has schema %q, want %q", path, f.Schema, checkpointSchema)
+	// A v1 checkpoint was one indented JSON object; give it a precise
+	// rejection instead of a salvage attempt on a foreign format.
+	if data[0] == '{' {
+		var v1 struct {
+			Schema string `json:"schema"`
+		}
+		if json.Unmarshal(data, &v1) == nil && v1.Schema == checkpointSchemaV1 {
+			return nil, fmt.Errorf("sim: checkpoint %s uses retired schema %q (want %q) — delete it or point -resume elsewhere",
+				path, checkpointSchemaV1, checkpointSchema)
+		}
+		return nil, fmt.Errorf("sim: checkpoint %s is not a %s file", path, checkpointSchema)
 	}
-	if f.Fingerprint != fingerprint {
-		return nil, fmt.Errorf("sim: checkpoint %s was written for different sweep options (%s; this sweep: %s) — delete it or point -resume elsewhere", path, f.Fingerprint, fingerprint)
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+
+	// Header line: "H {json}".
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sim: checkpoint %s: missing header: %w", path, errCkptDamaged)
 	}
-	if f.Cells != nil {
-		c.cells = f.Cells
+	line := sc.Text()
+	if !strings.HasPrefix(line, "H ") {
+		return nil, fmt.Errorf("sim: checkpoint %s is not a %s file", path, checkpointSchema)
 	}
-	return c, nil
+	var hdr checkpointHeader
+	if err := json.Unmarshal([]byte(line[2:]), &hdr); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: unreadable header: %v", path, err)
+	}
+	if hdr.Schema != checkpointSchema {
+		return nil, fmt.Errorf("sim: checkpoint %s has schema %q, want %q", path, hdr.Schema, checkpointSchema)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("sim: checkpoint %s was written for different sweep options (%s; this sweep: %s) — delete it or point -resume elsewhere",
+			path, hdr.Fingerprint, fingerprint)
+	}
+
+	st := &ckptFileState{cells: map[string]checkpointEntry{}}
+	body := fnv.New64a()
+	records, sawTrailer, trailerOK := 0, false, false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "C "):
+			if sawTrailer {
+				st.dropped++ // records after the trailer: a mangled file
+				continue
+			}
+			sum, payload, ok := strings.Cut(line[2:], " ")
+			if !ok {
+				st.dropped++
+				continue
+			}
+			var want uint64
+			if _, err := fmt.Sscanf(sum, "%016x", &want); err != nil || fnvSum([]byte(payload)) != want {
+				st.dropped++
+				continue
+			}
+			var rec checkpointRecord
+			if err := json.Unmarshal([]byte(payload), &rec); err != nil || rec.Run == nil {
+				st.dropped++
+				continue
+			}
+			st.cells[rec.Key] = rec.checkpointEntry
+			records++
+			body.Write([]byte(payload))
+			body.Write([]byte{'\n'})
+		case strings.HasPrefix(line, "T "):
+			sawTrailer = true
+			var n int
+			var want uint64
+			if _, err := fmt.Sscanf(line[2:], "%d %016x", &n, &want); err == nil {
+				trailerOK = n == records && want == body.Sum64()
+			}
+		case strings.TrimSpace(line) == "":
+			// ignore blank lines
+		default:
+			st.dropped++ // torn mid-line or foreign garbage
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("sim: checkpoint %s: %v: %w", path, err, errCkptDamaged)
+	}
+	if st.dropped == 0 && sawTrailer && trailerOK {
+		st.clean = true
+		return st, nil
+	}
+	return st, fmt.Errorf("sim: checkpoint %s: %d damaged lines, trailer ok=%v: %w",
+		path, st.dropped, sawTrailer && trailerOK, errCkptDamaged)
 }
 
 // Len returns the number of completed cells on record.
@@ -99,14 +319,23 @@ func (c *Checkpoint) Lookup(cell Cell) (*stats.Run, bool) {
 }
 
 // Record stores a completed cell and flushes to disk every flushEvery new
-// cells. Write errors are retained and surfaced by the next Flush.
+// cells. The flush happens outside the cell-map lock, so concurrent
+// Record/Lookup calls from other workers never wait on marshaling or disk
+// I/O. Write errors are retained and surfaced by the next Flush.
 func (c *Checkpoint) Record(cell Cell, run *stats.Run) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.cells[cell.Key()] = checkpointEntry{Digest: cell.Config.Digest(), Run: run}
 	c.dirty++
-	if c.dirty >= flushEvery {
-		c.flushLocked()
+	trigger := c.dirty >= flushEvery
+	c.mu.Unlock()
+	if trigger {
+		if err := c.flush(); err != nil {
+			c.mu.Lock()
+			if c.saveErr == nil {
+				c.saveErr = err
+			}
+			c.mu.Unlock()
+		}
 	}
 }
 
@@ -114,44 +343,126 @@ func (c *Checkpoint) Record(cell Cell, run *stats.Run) {
 // encountered since the previous Flush.
 func (c *Checkpoint) Flush() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dirty > 0 {
-		c.flushLocked()
+	dirty := c.dirty > 0
+	c.mu.Unlock()
+	var ferr error
+	if dirty {
+		ferr = c.flush()
 	}
+	c.mu.Lock()
 	err := c.saveErr
 	c.saveErr = nil
+	c.mu.Unlock()
+	if err == nil {
+		err = ferr
+	}
 	return err
 }
 
-// flushLocked atomically replaces the file via a temp-file rename, so an
-// interrupt mid-write leaves the previous checkpoint intact.
-func (c *Checkpoint) flushLocked() {
-	data, err := json.MarshalIndent(checkpointFile{
-		Schema:      checkpointSchema,
-		Fingerprint: c.fingerprint,
-		Cells:       c.cells,
-	}, "", " ")
+// flush writes one durable generation: snapshot the cells under the lock,
+// marshal and write a temp file outside it, fsync, rotate the previous
+// checkpoint to .bak, rename into place, and fsync the directory — the
+// crash-ordering chain that guarantees rename never publishes un-synced
+// data and a crash at any point leaves either the new generation, the old
+// one (as .bak with the primary missing for at most the rename window), or
+// a torn file whose intact records salvage recovers.
+func (c *Checkpoint) flush() error {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+
+	c.mu.Lock()
+	claimed := c.dirty
+	snap := make(map[string]checkpointEntry, len(c.cells))
+	maps.Copy(snap, c.cells)
+	c.mu.Unlock()
+
+	data, err := marshalCheckpoint(c.fingerprint, snap)
 	if err != nil {
-		c.saveErr = fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
-		return
+		return fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
 	}
+	torn := c.chaos.Torn(c.flushes)
+	c.flushes++
+	if torn {
+		data = data[:len(data)*2/3]
+	}
+
 	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".tmp*")
 	if err != nil {
-		c.saveErr = fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
-		return
+		return fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
 	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr == nil {
+	_, werr := tmp.Write(data)
+	if werr == nil && !torn {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr == nil {
+		// Keep the previous generation as the last-good fallback. Nothing
+		// to rotate on the first flush; any other rename error surfaces
+		// through the primary rename below.
+		if _, serr := os.Stat(c.path); serr == nil {
+			os.Rename(c.path, c.path+bakSuffix)
+		}
 		werr = os.Rename(tmp.Name(), c.path)
+	}
+	if werr == nil && !torn {
+		werr = syncDir(filepath.Dir(c.path))
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
-		c.saveErr = fmt.Errorf("sim: checkpoint %s: %w", c.path, werr)
-		return
+		return fmt.Errorf("sim: checkpoint %s: %w", c.path, werr)
 	}
-	c.dirty = 0
+	c.mu.Lock()
+	if c.dirty -= claimed; c.dirty < 0 {
+		c.dirty = 0
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// marshalCheckpoint renders the v2 line format in sorted key order (the
+// determinism that makes torn-write tests reproducible: a truncation
+// always cuts the same suffix).
+func marshalCheckpoint(fingerprint string, cells map[string]checkpointEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	hdr, err := json.Marshal(checkpointHeader{Schema: checkpointSchema, Fingerprint: fingerprint})
+	if err != nil {
+		return nil, err
+	}
+	buf.WriteString("H ")
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	body := fnv.New64a()
+	for _, k := range keys {
+		payload, err := json.Marshal(checkpointRecord{Key: k, checkpointEntry: cells[k]})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&buf, "C %016x %s\n", fnvSum(payload), payload)
+		body.Write(payload)
+		body.Write([]byte{'\n'})
+	}
+	fmt.Fprintf(&buf, "T %d %016x\n", len(keys), body.Sum64())
+	return buf.Bytes(), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

@@ -2,14 +2,58 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"specsched/internal/faultinject"
 	"specsched/internal/stats"
 )
+
+// Cell-failure sentinels. Every failure the pool itself synthesizes wraps
+// exactly one of these, so retry classification and tests match on
+// errors.Is instead of message text.
+var (
+	// ErrCellPanic marks a cell whose goroutine panicked; the panic value
+	// and stack ride along in the message. Panics are transient for retry
+	// purposes: the paper-grade configs never panic, so a panic is either
+	// an injected fault or a once-in-a-run environmental failure.
+	ErrCellPanic = errors.New("sim: cell panicked")
+	// ErrCellTimeout marks a cell that exceeded Pool.CellTimeout.
+	ErrCellTimeout = errors.New("sim: cell timeout")
+	// ErrCellStalled marks a cell the stall watchdog killed: its
+	// simulated-cycle heartbeat stopped advancing for Pool.StallTimeout
+	// even though the wall-clock cell timeout had not yet expired.
+	ErrCellStalled = errors.New("sim: cell stalled (no simulated-cycle progress)")
+	// ErrAbandonBudget marks a transient timeout/stall that was NOT
+	// retried because the pool's abandoned-goroutine budget is spent:
+	// retrying would leak yet another goroutine.
+	ErrAbandonBudget = errors.New("sim: abandoned-goroutine budget exhausted, not retrying")
+)
+
+// Transient reports whether a cell failure is worth retrying: pool-level
+// panics, timeouts, and stalls are; anything matching ErrBadTrace is not
+// (a corrupt trace stays corrupt); and any error in the chain may opt in
+// by implementing `Transient() bool` (the hook remote cell runners and
+// fault injection use). Everything else — invalid configurations, unknown
+// workloads — is permanent.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, ErrBadTrace) {
+		return false
+	}
+	if errors.Is(err, ErrCellPanic) || errors.Is(err, ErrCellTimeout) || errors.Is(err, ErrCellStalled) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
 
 // Progress is a snapshot of sweep progress delivered to Pool.OnProgress
 // after every finished cell (including cells satisfied from the
@@ -19,11 +63,17 @@ type Progress struct {
 	Total  int // cells in the sweep
 	Failed int // cells that errored, panicked, or timed out
 	Cached int // cells satisfied from the resume checkpoint
-	// Cell is the cell that just finished; Elapsed its wall-clock seconds.
-	Cell       Cell
-	CellErr    error
-	CellCached bool
-	Elapsed    float64
+	// Resilience counters, cumulative across the sweep so far.
+	Retried   int // extra attempts spent on retries
+	Recovered int // cells that succeeded after at least one retry
+	Abandoned int // goroutines abandoned to timeouts/stalls (total)
+	// Cell is the cell that just finished; Elapsed its wall-clock seconds
+	// across every attempt; CellAttempts how many attempts it took.
+	Cell         Cell
+	CellErr      error
+	CellCached   bool
+	CellAttempts int
+	Elapsed      float64
 }
 
 // Pool shards a cell grid across worker goroutines. Each worker owns a
@@ -33,14 +83,48 @@ type Progress struct {
 // behind a slow worker. Cells only ever leave deques, which makes
 // termination trivial: a worker that finds every deque empty knows every
 // cell has been claimed.
+//
+// Failure policy: a cell attempt that fails transiently (panic, timeout,
+// stall, or an error opting in via Transient()) is retried up to
+// MaxAttempts times with capped exponential backoff; permanent failures
+// (ErrBadTrace, invalid configurations) fail immediately. Timeouts and
+// stalls abandon their goroutine (the runtime cannot preempt-kill it);
+// AbandonBudget bounds how many such leaks the pool tolerates before it
+// stops retrying abandoning failures, so a systematically hanging sweep
+// degrades to per-cell failures instead of leaking without limit.
 type Pool struct {
 	// Jobs is the worker count (0 = GOMAXPROCS).
 	Jobs int
-	// CellTimeout bounds one cell's wall-clock time; 0 disables. A timed
-	// out cell fails with an error and its goroutine is abandoned (the Go
-	// runtime cannot preempt-kill it), which is acceptable for a sweep
-	// process: the stuck goroutine dies with the process.
+	// CellTimeout bounds one cell attempt's wall-clock time; 0 disables.
+	// A timed out attempt fails with ErrCellTimeout and its goroutine is
+	// abandoned (reclaimed against the budget if it eventually returns).
 	CellTimeout time.Duration
+	// StallTimeout, when > 0, arms the stall watchdog: a cell attempt
+	// whose simulated-cycle heartbeat (see WithHeartbeat; Simulate and
+	// SimulateCell emit them off the core's cancellation poll) does not
+	// advance for this long fails with ErrCellStalled without waiting for
+	// the full CellTimeout. It distinguishes "slow but progressing" (mcf
+	// keeps heartbeating) from "hung" (heartbeat frozen). Cell functions
+	// that never heartbeat are treated as hung once the window passes.
+	StallTimeout time.Duration
+	// MaxAttempts is the per-cell attempt bound for transient failures
+	// (0 or 1 = no retries).
+	MaxAttempts int
+	// RetryBackoff is the sleep before the second attempt, doubling per
+	// subsequent attempt (0 = 100ms). The sleep is context-interruptible.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the doubling (0 = 32 × RetryBackoff).
+	MaxRetryBackoff time.Duration
+	// AbandonBudget bounds concurrently leaked goroutines from timeouts
+	// and stalls before abandoning failures stop being retried (0 = twice
+	// the worker count; negative = unlimited).
+	AbandonBudget int
+	// Chaos, when non-nil, injects the plan's deterministic faults into
+	// cell attempts (panic, hang, transient error, corrupt trace) — the
+	// reproducible test harness for every failure path above. Hang faults
+	// block until the attempt's context is canceled, so they require
+	// CellTimeout or StallTimeout to be set.
+	Chaos *faultinject.Plan
 	// Checkpoint, when non-nil, satisfies already-completed cells without
 	// simulating and records fresh completions for future resumes.
 	Checkpoint *Checkpoint
@@ -52,7 +136,17 @@ type Pool struct {
 	// same single collector goroutine as OnProgress — the streaming hook
 	// behind the public Sweep.Results iterator.
 	OnResult func(Result)
+
+	// abandoned counts currently-leaked goroutines (incremented when a
+	// timeout/stall fires, decremented if the attempt later returns);
+	// abandonTotal is the monotone count of abandon events.
+	abandoned    atomic.Int64
+	abandonTotal atomic.Int64
 }
+
+// Abandoned returns how many goroutines this pool has abandoned to
+// timeouts and stalls in total (monotone; reclaims don't subtract).
+func (p *Pool) Abandoned() int { return int(p.abandonTotal.Load()) }
 
 // Run executes every cell through fn and returns the results in cell
 // order — results[i] always corresponds to cells[i], regardless of worker
@@ -80,9 +174,17 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 		if results[i].Cached {
 			prog.Cached++
 		}
+		if a := results[i].Attempts; a > 1 {
+			prog.Retried += a - 1
+			if results[i].Err == nil {
+				prog.Recovered++
+			}
+		}
+		prog.Abandoned = p.Abandoned()
 		if p.OnProgress != nil {
 			prog.Cell, prog.CellErr = results[i].Cell, results[i].Err
 			prog.CellCached, prog.Elapsed = results[i].Cached, results[i].Elapsed
+			prog.CellAttempts = results[i].Attempts
 			p.OnProgress(prog)
 		}
 		if p.OnResult != nil {
@@ -137,7 +239,7 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 				if !ok {
 					return
 				}
-				results[idx] = p.runCell(ctx, cells[idx], fn)
+				results[idx] = p.runCellRetrying(ctx, cells[idx], fn)
 				finished <- idx
 			}
 		}(w)
@@ -175,35 +277,218 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 	return results
 }
 
-// runCell executes one cell in a child goroutine so that panics and
-// timeouts are contained to the cell.
-func (p *Pool) runCell(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error)) Result {
+// maxAttempts returns the effective per-cell attempt bound.
+func (p *Pool) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the capped exponential sleep before attempt n+1 (n is
+// the 1-based attempt that just failed).
+func (p *Pool) backoff(n int) time.Duration {
+	base := p.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := p.MaxRetryBackoff
+	if cap <= 0 {
+		cap = 32 * base
+	}
+	d := base << (n - 1)
+	if d > cap || d <= 0 { // d<=0 guards shift overflow at absurd n
+		d = cap
+	}
+	return d
+}
+
+// abandonBudget returns the effective leaked-goroutine bound (<0 =
+// unlimited).
+func (p *Pool) abandonBudget() int {
+	if p.AbandonBudget != 0 {
+		return p.AbandonBudget
+	}
+	jobs := p.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return 2 * jobs
+}
+
+// runCellRetrying drives one cell through the retry policy: attempts run
+// until one succeeds, fails permanently, exhausts MaxAttempts, trips the
+// abandon budget, or the sweep context is canceled. Elapsed accumulates
+// across attempts; Attempts records how many ran.
+func (p *Pool) runCellRetrying(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error)) Result {
+	var elapsed float64
+	for attempt := 1; ; attempt++ {
+		res := p.runCell(ctx, cell, fn, attempt)
+		elapsed += res.Elapsed
+		res.Elapsed, res.Attempts = elapsed, attempt
+		if res.Err == nil || ctx.Err() != nil || attempt >= p.maxAttempts() || !Transient(res.Err) {
+			return res
+		}
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(p.backoff(attempt)):
+		}
+		// Budget check after the backoff: an abandoned attempt that honored
+		// cancellation during the sleep has already reclaimed its slot.
+		if abandoning(res.Err) {
+			if budget := p.abandonBudget(); budget >= 0 && int(p.abandoned.Load()) >= budget {
+				res.Err = fmt.Errorf("cell %s: %w (%d leaked): %w", cell, ErrAbandonBudget, p.abandoned.Load(), res.Err)
+				return res
+			}
+		}
+	}
+}
+
+// abandoning reports whether a failure leaked its attempt's goroutine.
+func abandoning(err error) bool {
+	return errors.Is(err, ErrCellTimeout) || errors.Is(err, ErrCellStalled)
+}
+
+// runCell executes one attempt of one cell in a child goroutine so that
+// panics, timeouts, and stalls are contained to the attempt.
+func (p *Pool) runCell(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error), attempt int) Result {
 	start := time.Now()
+
+	// The attempt context: cancelable when a timeout or watchdog is armed
+	// so a killed attempt's simulation actually aborts (the core polls it)
+	// instead of burning a CPU until the process exits. The heartbeat
+	// counter rides the context into Simulate/SimulateCell.
+	cctx, cancel := ctx, context.CancelCauseFunc(nil)
+	watched := p.CellTimeout > 0 || p.StallTimeout > 0
+	var hb *atomic.Int64
+	if watched {
+		cctx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		if p.StallTimeout > 0 {
+			hb = new(atomic.Int64)
+			hb.Store(-1) // no heartbeat yet
+			cctx = WithHeartbeat(cctx, hb)
+		}
+	}
+
 	ch := make(chan Result, 1)
 	go func() {
 		defer func() {
 			if pv := recover(); pv != nil {
-				ch <- Result{Cell: cell, Err: fmt.Errorf("cell %s panicked: %v\n%s", cell, pv, debug.Stack())}
+				ch <- Result{Cell: cell, Err: fmt.Errorf("cell %s: %w: %v\n%s", cell, ErrCellPanic, pv, debug.Stack())}
 			}
 		}()
-		run, err := fn(ctx, cell)
+		if p.Chaos != nil {
+			switch kind := p.Chaos.Cell(cell.Key(), attempt); kind {
+			case faultinject.Panic:
+				panic(fmt.Sprintf("faultinject: injected panic (%s attempt %d)", cell, attempt))
+			case faultinject.Hang:
+				// Model a wedged cell: no heartbeats, no completion, until
+				// the watchdog/timeout cancels the attempt context.
+				<-cctx.Done()
+				ch <- Result{Cell: cell, Err: fmt.Errorf("cell %s: injected hang released: %w", cell, context.Cause(cctx))}
+				return
+			case faultinject.Transient:
+				ch <- Result{Cell: cell, Err: fmt.Errorf("cell %s (attempt %d): %w", cell, attempt, faultinject.ErrTransient)}
+				return
+			case faultinject.CorruptTrace:
+				ch <- Result{Cell: cell, Err: fmt.Errorf("%w: cell %s: faultinject: trace body digest mismatch", ErrBadTrace, cell)}
+				return
+			}
+		}
+		run, err := fn(cctx, cell)
 		if err != nil {
 			err = fmt.Errorf("cell %s: %w", cell, err)
 		}
 		ch <- Result{Cell: cell, Run: run, Err: err}
 	}()
 
-	var res Result
+	if !watched {
+		res := <-ch
+		res.Elapsed = time.Since(start).Seconds()
+		return res
+	}
+
+	var timeoutC <-chan time.Time
 	if p.CellTimeout > 0 {
-		t := time.NewTimer(p.CellTimeout)
+		tm := time.NewTimer(p.CellTimeout)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
+	var stallC <-chan time.Time
+	if p.StallTimeout > 0 {
+		ival := p.StallTimeout / 4
+		if ival < time.Millisecond {
+			ival = time.Millisecond
+		}
+		tk := time.NewTicker(ival)
+		defer tk.Stop()
+		stallC = tk.C
+	}
+
+	// finished drains ch without blocking: the buffer guarantees the child
+	// can always deliver, so an abandoned attempt that eventually returns
+	// reclaims its budget slot via the monitor below.
+	finished := func() (Result, bool) {
+		select {
+		case res := <-ch:
+			return res, true
+		default:
+			return Result{}, false
+		}
+	}
+	abandon := func(cause error) {
+		p.abandoned.Add(1)
+		p.abandonTotal.Add(1)
+		cancel(cause) // a ctx-polling simulation aborts promptly
+		go func() {
+			<-ch // the attempt returned after all: slot reclaimed
+			p.abandoned.Add(-1)
+		}()
+	}
+
+	lastBeat, lastAdvance := int64(-1), start
+	var res Result
+watch:
+	for {
 		select {
 		case res = <-ch:
-			t.Stop()
-		case <-t.C:
-			res = Result{Cell: cell, Err: fmt.Errorf("cell %s exceeded the %v cell timeout (diverging config? goroutine abandoned)", cell, p.CellTimeout)}
+			break watch
+		case <-ctx.Done():
+			// Sweep canceled: report the cause; the child exits via cctx.
+			if r, ok := finished(); ok {
+				res = r
+				break watch
+			}
+			res = Result{Cell: cell, Err: fmt.Errorf("cell %s: %w", cell, context.Cause(ctx))}
+			break watch
+		case <-timeoutC:
+			if r, ok := finished(); ok { // lost race: attempt did finish
+				res = r
+				break watch
+			}
+			err := fmt.Errorf("cell %s: %w after %v (diverging config? goroutine abandoned)", cell, ErrCellTimeout, p.CellTimeout)
+			abandon(err)
+			res = Result{Cell: cell, Err: err}
+			break watch
+		case <-stallC:
+			if beat := hb.Load(); beat != lastBeat {
+				lastBeat, lastAdvance = beat, time.Now()
+				continue
+			}
+			if time.Since(lastAdvance) < p.StallTimeout {
+				continue
+			}
+			if r, ok := finished(); ok {
+				res = r
+				break watch
+			}
+			err := fmt.Errorf("cell %s: %w for %v at simulated cycle %d (goroutine abandoned)", cell, ErrCellStalled, p.StallTimeout, lastBeat)
+			abandon(err)
+			res = Result{Cell: cell, Err: err}
+			break watch
 		}
-	} else {
-		res = <-ch
 	}
 	res.Elapsed = time.Since(start).Seconds()
 	return res

@@ -23,6 +23,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"specsched/internal/config"
 	"specsched/internal/core"
@@ -59,11 +60,34 @@ func (c Cell) String() string {
 // (simulation error, panic, or timeout). Cached marks results satisfied
 // from a resume checkpoint without simulating.
 type Result struct {
-	Cell    Cell
-	Run     *stats.Run
-	Err     error
-	Cached  bool
-	Elapsed float64 // seconds of wall clock spent simulating (0 if cached)
+	Cell   Cell
+	Run    *stats.Run
+	Err    error
+	Cached bool
+	// Attempts is how many attempts the cell took (1 = first try; >1
+	// means transient failures were retried). 0 for cached cells.
+	Attempts int
+	Elapsed  float64 // seconds of wall clock spent simulating, summed over attempts (0 if cached)
+}
+
+// heartbeatKey carries the stall-watchdog heartbeat counter through the
+// context handed to cell functions.
+type heartbeatKey struct{}
+
+// WithHeartbeat returns a context carrying a heartbeat counter for the
+// cell function to bump with its simulated-cycle position. Pool.runCell
+// installs one when the stall watchdog is armed; Simulate and SimulateCell
+// wire it to core.SetHeartbeat so the core's cancellation poll (every 4096
+// busy cycles) publishes progress for free.
+func WithHeartbeat(ctx context.Context, hb *atomic.Int64) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, hb)
+}
+
+// HeartbeatFrom extracts the heartbeat counter installed by WithHeartbeat,
+// or nil if the context carries none.
+func HeartbeatFrom(ctx context.Context) *atomic.Int64 {
+	hb, _ := ctx.Value(heartbeatKey{}).(*atomic.Int64)
+	return hb
 }
 
 // DeriveSeed maps (base profile seed, workload, seed index) to the RNG seed
@@ -112,6 +136,7 @@ func Simulate(ctx context.Context, cell Cell, warmup, measure int64) (*stats.Run
 		return nil, err
 	}
 	c.SetWorkloadName(cell.Workload)
+	c.SetHeartbeat(HeartbeatFrom(ctx))
 	return c.RunContext(ctx, warmup, measure)
 }
 
@@ -201,6 +226,7 @@ func SimulateCell(ctx context.Context, cell Cell, warmup, measure int64, traces 
 		return nil, err
 	}
 	c.SetWorkloadName(cell.Workload)
+	c.SetHeartbeat(HeartbeatFrom(ctx))
 	r, err := c.RunContext(ctx, warmup, measure)
 	switch {
 	case err != nil && d.Err() != nil:

@@ -12,6 +12,7 @@ import (
 	"specsched/internal/config"
 	"specsched/internal/core"
 	"specsched/internal/experiments"
+	"specsched/internal/faultinject"
 	"specsched/internal/sim"
 	"specsched/internal/stats"
 	"specsched/results"
@@ -53,6 +54,10 @@ type Cell struct {
 	Run    results.Run
 	Err    error
 	Cached bool
+	// Attempts is how many attempts the cell took (1 = first try; >1 means
+	// transient failures were retried, see SweepRetries). 0 for cached
+	// cells.
+	Attempts int
 }
 
 // Progress is a sweep progress snapshot delivered after every finished
@@ -68,6 +73,9 @@ type Progress struct {
 	Err     error
 	IsCache bool
 	Elapsed time.Duration
+	// Attempts is how many attempts this cell took (0 for cached cells;
+	// >1 means transient failures were retried).
+	Attempts int
 }
 
 // Sweep runs a (configuration × workload × seed) grid on a work-stealing
@@ -81,22 +89,33 @@ type Progress struct {
 // Results streams — is bit-identical regardless of worker count or
 // completion order.
 type Sweep struct {
-	configs     []string
-	workloads   []string
-	traces      []string
-	seeds       int
-	jobs        int
-	warmup      int64
-	measure     int64
-	scheduler   Scheduler
-	timeSkip    *bool
-	checkpoint  string
-	cellTimeout time.Duration
-	onProgress  func(Progress)
+	configs         []string
+	workloads       []string
+	traces          []string
+	seeds           int
+	jobs            int
+	warmup          int64
+	measure         int64
+	scheduler       Scheduler
+	timeSkip        *bool
+	checkpoint      string
+	cellTimeout     time.Duration
+	stallTimeout    time.Duration
+	retries         int
+	retryBackoff    time.Duration
+	maxRetryBackoff time.Duration
+	abandonBudget   int
+	chaos           *Chaos
+	onProgress      func(Progress)
 
 	mu        sync.Mutex
 	runner    *experiments.Runner // lazy; backs Report
 	simulated int64               // µ-ops simulated by raw-grid runs (Run/Results)
+	failures  map[CellRef]CellFailure
+	retried   int // extra attempts spent across all cells
+	recovered int // cells that failed at least once but ultimately succeeded
+	abandoned int // goroutines abandoned to timeouts/stalls by raw-grid pools
+	salvage   string
 }
 
 // SweepOption configures a Sweep.
@@ -157,6 +176,86 @@ func SweepCheckpoint(path string) SweepOption { return func(s *Sweep) { s.checkp
 // SweepCellTimeout bounds one cell's wall-clock time (0 = unbounded); a
 // timed-out cell fails alone and the sweep continues.
 func SweepCellTimeout(d time.Duration) SweepOption { return func(s *Sweep) { s.cellTimeout = d } }
+
+// SweepStallTimeout arms the per-cell stall watchdog: a cell whose
+// simulated-cycle counter stops advancing for d wall-clock time is killed
+// early with a stall error instead of waiting out SweepCellTimeout. Slow
+// but progressing cells are spared — the watchdog reads forward progress,
+// not wall clock. 0 (the default) disables it.
+func SweepStallTimeout(d time.Duration) SweepOption { return func(s *Sweep) { s.stallTimeout = d } }
+
+// SweepRetries sets the attempt budget per cell (default 1 = no retries).
+// Only transiently failing cells are retried — panics, timeouts, stalls,
+// and errors exposing Transient() bool — while deterministic failures
+// (ErrBadTrace, ErrInvalidConfig) fail immediately: rerunning a
+// deterministic simulator on identical input cannot change the outcome.
+func SweepRetries(attempts int) SweepOption { return func(s *Sweep) { s.retries = attempts } }
+
+// SweepRetryBackoff shapes the delay between retry attempts: base before
+// the first retry, doubling per subsequent retry, capped at max (base 0
+// defaults to 100ms, max 0 to 32×base).
+func SweepRetryBackoff(base, max time.Duration) SweepOption {
+	return func(s *Sweep) { s.retryBackoff, s.maxRetryBackoff = base, max }
+}
+
+// SweepAbandonBudget bounds the goroutines a sweep may abandon to timed-out
+// or stalled cells before it stops retrying them (such goroutines cannot be
+// forcibly killed and may linger until their simulation polls
+// cancellation). 0 (the default) allows 2× the worker count; negative is
+// unlimited.
+func SweepAbandonBudget(n int) SweepOption { return func(s *Sweep) { s.abandonBudget = n } }
+
+// Chaos is a deterministic fault-injection plan for resilience testing:
+// each rate is the per-attempt probability (0..1) of injecting that fault
+// into a cell, decided by a pure function of (Seed, cell, attempt) so a
+// rerun with the same plan injects the identical faults. Injected faults
+// exercise exactly the production failure paths — panic recovery, the
+// watchdog, retry classification, checkpoint salvage — so a chaos sweep
+// that converges proves the recovery machinery, and its results are
+// bit-identical to a fault-free run.
+type Chaos struct {
+	// Seed keys every injection decision (0 = a fixed default plan).
+	Seed uint64
+	// PanicRate injects a panic inside the cell goroutine.
+	PanicRate float64
+	// HangRate blocks the cell until the watchdog or timeout kills it —
+	// only meaningful with SweepCellTimeout or SweepStallTimeout set,
+	// otherwise the cell hangs forever.
+	HangRate float64
+	// TransientRate fails the cell with a retryable error.
+	TransientRate float64
+	// CorruptTraceRate fails the cell with a permanent ErrBadTrace-class
+	// error (never retried).
+	CorruptTraceRate float64
+	// TornWriteRate truncates a checkpoint flush mid-write, exercising the
+	// salvage/backup recovery on resume.
+	TornWriteRate float64
+	// MaxFaultsPerCell caps injections per cell (default 2) so a chaos
+	// sweep with enough retries always converges.
+	MaxFaultsPerCell int
+}
+
+// plan lowers the public chaos description to the internal fault plan.
+func (c *Chaos) plan() *faultinject.Plan {
+	if c == nil {
+		return nil
+	}
+	return &faultinject.Plan{
+		Seed:             c.Seed,
+		PanicRate:        c.PanicRate,
+		HangRate:         c.HangRate,
+		TransientRate:    c.TransientRate,
+		CorruptTraceRate: c.CorruptTraceRate,
+		TornWriteRate:    c.TornWriteRate,
+		MaxFaultsPerCell: c.MaxFaultsPerCell,
+	}
+}
+
+// SweepChaos injects the given deterministic fault plan into every cell and
+// checkpoint flush (nil = no injection). Production sweeps leave this
+// unset; CI chaos jobs and cmd/experiments -chaos use it to prove the
+// resilience machinery end to end.
+func SweepChaos(c Chaos) SweepOption { return func(s *Sweep) { s.chaos = &c } }
 
 // SweepProgress installs a progress callback, invoked after every finished
 // cell from a single goroutine.
@@ -275,6 +374,7 @@ func (s *Sweep) grid() ([]sim.Cell, sim.TraceSet, error) {
 // the checkpoint, and flushing it before returning — including on
 // cancellation, which is what keeps an interrupted sweep resumable.
 func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceSet, onResult func(sim.Result)) ([]sim.Result, error) {
+	plan := s.chaos.plan()
 	var cp *sim.Checkpoint
 	if s.checkpoint != "" {
 		impl, _ := s.scheduler.impl()
@@ -283,14 +383,21 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 		if err != nil {
 			return nil, wrapErr(ErrInvalidConfig, err)
 		}
+		cp.SetChaos(plan)
 	}
 	pool := &sim.Pool{
-		Jobs:        s.jobs,
-		CellTimeout: s.cellTimeout,
-		Checkpoint:  cp,
-		OnResult:    onResult,
+		Jobs:            s.jobs,
+		CellTimeout:     s.cellTimeout,
+		StallTimeout:    s.stallTimeout,
+		MaxAttempts:     s.retries,
+		RetryBackoff:    s.retryBackoff,
+		MaxRetryBackoff: s.maxRetryBackoff,
+		AbandonBudget:   s.abandonBudget,
+		Chaos:           plan,
+		Checkpoint:      cp,
+		OnResult:        onResult,
 	}
-	pool.OnProgress = s.progressAdapter()
+	pool.OnProgress = s.poolProgress()
 	res := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
 		return sim.SimulateCell(ctx, c, s.warmup, s.measure, traces)
 	})
@@ -307,6 +414,10 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 	}
 	s.mu.Lock()
 	s.simulated += executed
+	s.abandoned += pool.Abandoned()
+	if cp != nil && cp.Salvage() != nil && s.salvage == "" {
+		s.salvage = cp.Salvage().String()
+	}
 	s.mu.Unlock()
 
 	var flushErr error
@@ -335,30 +446,123 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 	return res, nil
 }
 
-// progressAdapter bridges the internal pool progress callback to the
-// sweep's public one (nil if no callback is installed).
-func (s *Sweep) progressAdapter() func(sim.Progress) {
-	if s.onProgress == nil {
-		return nil
-	}
+// poolProgress bridges the internal pool progress callback to the sweep's
+// public one and — callback or not — records per-cell failure outcomes for
+// FailureReport. A cell that fails and later succeeds on retry (or in a
+// later report sharing this sweep) is removed from the failure set and
+// counted as recovered.
+func (s *Sweep) poolProgress() func(sim.Progress) {
 	fn := s.onProgress
 	return func(p sim.Progress) {
-		fn(Progress{
-			Done: p.Done, Total: p.Total, Failed: p.Failed, Cached: p.Cached,
-			Cell:    CellRef{Config: p.Cell.Config.Name, Workload: p.Cell.Workload, Seed: p.Cell.SeedIdx},
-			Err:     mapCellErr(p.CellErr),
-			IsCache: p.CellCached,
-			Elapsed: time.Duration(p.Elapsed * float64(time.Second)),
-		})
+		ref := CellRef{Config: p.Cell.Config.Name, Workload: p.Cell.Workload, Seed: p.Cell.SeedIdx}
+		s.mu.Lock()
+		if p.CellAttempts > 1 {
+			s.retried += p.CellAttempts - 1
+		}
+		if p.CellErr != nil {
+			if s.failures == nil {
+				s.failures = make(map[CellRef]CellFailure)
+			}
+			s.failures[ref] = CellFailure{
+				Cell:      ref,
+				Err:       mapCellErr(p.CellErr),
+				Attempts:  p.CellAttempts,
+				Transient: sim.Transient(p.CellErr),
+			}
+		} else {
+			if _, failedBefore := s.failures[ref]; failedBefore || p.CellAttempts > 1 {
+				s.recovered++
+			}
+			delete(s.failures, ref)
+		}
+		s.mu.Unlock()
+		if fn != nil {
+			fn(Progress{
+				Done: p.Done, Total: p.Total, Failed: p.Failed, Cached: p.Cached,
+				Cell:     ref,
+				Err:      mapCellErr(p.CellErr),
+				IsCache:  p.CellCached,
+				Elapsed:  time.Duration(p.Elapsed * float64(time.Second)),
+				Attempts: p.CellAttempts,
+			})
+		}
 	}
+}
+
+// CellFailure describes one sweep cell that ended in failure: its
+// coordinates, the (public-taxonomy) error, the attempts spent, and whether
+// the failure class is transient — i.e. whether a larger SweepRetries
+// budget could plausibly have recovered it.
+type CellFailure struct {
+	Cell      CellRef
+	Err       error
+	Attempts  int
+	Transient bool
+}
+
+// FailureReport aggregates a sweep's resilience outcomes across everything
+// it has run so far (raw grids and experiment reports).
+type FailureReport struct {
+	// Failed lists cells whose final outcome was an error, sorted by
+	// (config, workload, seed). A cell that failed and later succeeded —
+	// on retry, or re-executed by a later report — is not listed.
+	Failed []CellFailure
+	// Recovered counts cells that failed at least one attempt but
+	// ultimately succeeded.
+	Recovered int
+	// Retries counts extra attempts spent beyond each cell's first.
+	Retries int
+	// Abandoned counts goroutines abandoned to timed-out or stalled cells
+	// (they linger until their simulation polls cancellation).
+	Abandoned int
+	// CheckpointSalvage describes what had to be salvaged from a damaged
+	// resume checkpoint ("" when the load was clean).
+	CheckpointSalvage string
+}
+
+// FailureReport returns the sweep's aggregate resilience outcomes so far.
+// It may be called mid-sweep (from a progress callback or another
+// goroutine) for a consistent snapshot, or after Run/Results/Report to
+// summarize what failed, what recovered, and what the retry machinery paid.
+func (s *Sweep) FailureReport() FailureReport {
+	s.mu.Lock()
+	fr := FailureReport{
+		Recovered:         s.recovered,
+		Retries:           s.retried,
+		Abandoned:         s.abandoned,
+		CheckpointSalvage: s.salvage,
+	}
+	for _, f := range s.failures {
+		fr.Failed = append(fr.Failed, f)
+	}
+	r := s.runner
+	s.mu.Unlock()
+	if r != nil {
+		fr.Abandoned += r.Abandoned()
+		if fr.CheckpointSalvage == "" {
+			fr.CheckpointSalvage = r.CheckpointSalvage()
+		}
+	}
+	sort.Slice(fr.Failed, func(i, j int) bool {
+		a, b := fr.Failed[i].Cell, fr.Failed[j].Cell
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Seed < b.Seed
+	})
+	return fr
 }
 
 // toCell converts an internal pool result to the public cell record.
 func toCell(r sim.Result) Cell {
 	c := Cell{
-		CellRef: CellRef{Config: r.Cell.Config.Name, Workload: r.Cell.Workload, Seed: r.Cell.SeedIdx},
-		Err:     mapCellErr(r.Err),
-		Cached:  r.Cached,
+		CellRef:  CellRef{Config: r.Cell.Config.Name, Workload: r.Cell.Workload, Seed: r.Cell.SeedIdx},
+		Err:      mapCellErr(r.Err),
+		Cached:   r.Cached,
+		Attempts: r.Attempts,
 	}
 	if r.Run != nil {
 		c.Run = runFromStatsElapsed(r.Run, time.Duration(r.Elapsed*float64(time.Second)))
@@ -490,20 +694,26 @@ func (s *Sweep) reportRunner() (*experiments.Runner, error) {
 		refs = append(refs, traces[n])
 	}
 	opts := experiments.Options{
-		Warmup:      s.warmup,
-		Measure:     s.measure,
-		Workloads:   wls,
-		Traces:      refs,
-		Parallel:    s.jobs,
-		Seeds:       s.seeds,
-		Scheduler:   impl,
-		CellTimeout: s.cellTimeout,
-		Checkpoint:  s.checkpoint,
+		Warmup:          s.warmup,
+		Measure:         s.measure,
+		Workloads:       wls,
+		Traces:          refs,
+		Parallel:        s.jobs,
+		Seeds:           s.seeds,
+		Scheduler:       impl,
+		CellTimeout:     s.cellTimeout,
+		StallTimeout:    s.stallTimeout,
+		MaxAttempts:     s.retries,
+		RetryBackoff:    s.retryBackoff,
+		MaxRetryBackoff: s.maxRetryBackoff,
+		AbandonBudget:   s.abandonBudget,
+		Chaos:           s.chaos.plan(),
+		Checkpoint:      s.checkpoint,
 	}
 	if s.timeSkip != nil {
 		opts.DisableTimeSkip = !*s.timeSkip
 	}
-	opts.OnProgress = s.progressAdapter()
+	opts.OnProgress = s.poolProgress()
 	s.runner = experiments.NewRunner(opts)
 	return s.runner, nil
 }
