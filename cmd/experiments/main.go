@@ -11,6 +11,7 @@
 //	            [-stall-timeout DUR] [-retries N] [-retry-backoff DUR]
 //	            [-chaos RATE] [-chaos-seed N] [-timeskip=false]
 //	            [-resume FILE] [-json FILE] [-progress]
+//	            [-spec FILE] [-dump]
 //
 // Each report prints the same rows/series the paper reports, normalized the
 // same way (per-benchmark vs Baseline_0, geometric means); paper reference
@@ -53,6 +54,11 @@
 //	          -timeskip=false restores per-cycle stepping
 //	-resume   resumable sweep checkpoint: completed cells are saved there
 //	          and skipped when the sweep restarts with the same options
+//	-spec     build the sweep from a declarative SweepSpec JSON file (the
+//	          wire format specschedd serves; see EXPERIMENTS.md) instead
+//	          of the sweep flags, with up-front validation
+//	-dump     print the sweep's effective SweepSpec as JSON and exit —
+//	          turns a flag invocation into a -spec/daemon-submittable file
 //	-json     write the reports plus every per-(config, workload) run as
 //	          machine-readable JSON
 //	-progress stream per-cell completion lines to stderr
@@ -134,6 +140,8 @@ func main() {
 	resume := flag.String("resume", "", "resumable sweep checkpoint file (created if missing)")
 	jsonOut := flag.String("json", "", "write reports and per-cell runs as JSON to this file")
 	progress := flag.Bool("progress", false, "stream per-cell completions to stderr")
+	specFile := flag.String("spec", "", "build the sweep from this SweepSpec JSON file (the sweep flags above are ignored)")
+	dump := flag.Bool("dump", false, "print the sweep's effective SweepSpec as JSON and exit")
 	flag.Parse()
 
 	if *list {
@@ -231,22 +239,59 @@ func main() {
 	if len(tracePaths) > 0 {
 		opts = append(opts, specsched.SweepTraces(tracePaths...))
 	}
+	progressOpt := specsched.SweepProgress(func(p specsched.Progress) {
+		state := fmt.Sprintf("%.2fs", p.Elapsed.Seconds())
+		if p.IsCache {
+			state = "checkpoint"
+		}
+		if p.Err != nil {
+			state = "FAILED"
+		}
+		if p.Attempts > 1 {
+			state += fmt.Sprintf(" (attempt %d)", p.Attempts)
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %s\n", p.Done, p.Total, p.Cell, state)
+	})
 	if *progress {
-		opts = append(opts, specsched.SweepProgress(func(p specsched.Progress) {
-			state := fmt.Sprintf("%.2fs", p.Elapsed.Seconds())
-			if p.IsCache {
-				state = "checkpoint"
-			}
-			if p.Err != nil {
-				state = "FAILED"
-			}
-			if p.Attempts > 1 {
-				state += fmt.Sprintf(" (attempt %d)", p.Attempts)
-			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %s\n", p.Done, p.Total, p.Cell, state)
-		}))
+		opts = append(opts, progressOpt)
 	}
-	sweep := specsched.NewSweep(opts...)
+
+	// -spec replaces the flag-built sweep wholesale with a declarative
+	// SweepSpec, validated up front; the axis and resilience flags above
+	// are ignored. -progress/-exp/-json still apply either way.
+	var sweep *specsched.Sweep
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatalf("-spec: %v", err)
+		}
+		var spec specsched.SweepSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fatalf("-spec %s: %v", *specFile, err)
+		}
+		var extra []specsched.SweepOption
+		if *progress {
+			extra = append(extra, progressOpt)
+		}
+		sweep, err = specsched.NewSweepFromSpec(spec, extra...)
+		if err != nil {
+			fatalf("-spec %s: %v", *specFile, err)
+		}
+		// The summary and -json metadata describe the effective sweep.
+		wls = spec.Workloads
+		tracePaths = spec.Traces
+	} else {
+		sweep = specsched.NewSweep(opts...)
+	}
+
+	if *dump {
+		data, err := json.MarshalIndent(sweep.Spec(), "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(data))
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the sweep context. The simulator cores poll it,
 	// so in-flight cells abort within milliseconds and the checkpoint is
@@ -259,12 +304,13 @@ func main() {
 		names = strings.Split(*exp, ",")
 	}
 	start := time.Now()
+	eff := sweep.Spec() // effective options, whether flag- or -spec-built
 	rep := jsonReport{
 		Schema:    "specsched-experiments/v1",
 		GoVersion: runtime.Version(),
 		Options: jsonOptions{
-			Warmup: *warmup, Measure: *measure,
-			Seeds: *seeds, Jobs: *jobs, Workloads: wls, Traces: tracePaths,
+			Warmup: *eff.Warmup, Measure: *eff.Measure,
+			Seeds: eff.Seeds, Jobs: eff.Jobs, Workloads: wls, Traces: tracePaths,
 		},
 	}
 	// A failed cell must not discard the rest of the sweep: report the
@@ -313,8 +359,8 @@ func main() {
 
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted — completed cells are preserved")
-		if *resume != "" {
-			fmt.Fprintf(os.Stderr, "experiments: checkpoint flushed; resumable via -resume %s (same options)\n", *resume)
+		if eff.Checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "experiments: checkpoint flushed; resumable via -resume %s (same options)\n", eff.Checkpoint)
 		} else {
 			fmt.Fprintln(os.Stderr, "experiments: hint: run with -resume FILE to make interrupted sweeps resumable")
 		}
@@ -330,7 +376,7 @@ func main() {
 			axis = fmt.Sprintf("%d workloads + %d traces", len(wls), len(tracePaths))
 		}
 		fmt.Printf("(completed in %.1fs, %d µ-ops simulated, %s, %d seeds, jobs=%d)\n",
-			elapsed.Seconds(), sweep.SimulatedUOps(), axis, *seeds, effectiveJobs(*jobs))
+			elapsed.Seconds(), sweep.SimulatedUOps(), axis, eff.Seeds, effectiveJobs(eff.Jobs))
 	}
 
 	if *jsonOut != "" {

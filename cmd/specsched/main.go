@@ -7,10 +7,17 @@
 //
 //	specsched [-config SpecSched_4_Crit] [-workload xalancbmk]
 //	          [-measure N] [-warmup N] [-scheduler event|scan] [-list]
+//	          [-spec FILE] [-dump]
+//
+// -spec FILE runs a whole sweep from a declarative SweepSpec JSON file
+// (the same wire format specschedd accepts) and prints one line per cell.
+// -dump prints the effective SweepSpec of the invocation — flag-built or
+// -spec-loaded — as JSON and exits, turning flags into a submittable file.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +27,11 @@ import (
 	"specsched/presets"
 )
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	cfgName := flag.String("config", "SpecSched_4", "configuration preset")
 	workload := flag.String("workload", "xalancbmk", "workload name")
@@ -27,6 +39,8 @@ func main() {
 	warmup := flag.Int64("warmup", 20000, "warmup µ-ops")
 	scheduler := flag.String("scheduler", "event", "simulator wakeup/select implementation: event|scan (results are bit-identical; speed differs)")
 	list := flag.Bool("list", false, "list configurations and workloads, then exit")
+	specFile := flag.String("spec", "", "run a sweep from this SweepSpec JSON file instead of a single cell")
+	dump := flag.Bool("dump", false, "print the effective SweepSpec as JSON and exit")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +50,17 @@ func main() {
 		}
 		fmt.Println("workloads:")
 		fmt.Println("  " + strings.Join(specsched.WorkloadNames(), " "))
+		return
+	}
+
+	if *specFile != "" || *dump {
+		runSpec(*specFile, *dump, specsched.SweepSpec{
+			Configs:   []string{*cfgName},
+			Workloads: []string{*workload},
+			Warmup:    warmup,
+			Measure:   measure,
+			Scheduler: specsched.Scheduler(*scheduler),
+		})
 		return
 	}
 
@@ -85,4 +110,57 @@ func main() {
 	}
 	fmt.Printf("  simulated in        %8.0f ms (%.2f Minsts/s)\n",
 		r.Elapsed.Seconds()*1e3, float64(r.Committed)/r.Elapsed.Seconds()/1e6)
+}
+
+// runSpec handles the -spec/-dump sweep modes: flagSpec is the
+// flag-equivalent SweepSpec used when no file is given.
+func runSpec(path string, dump bool, flagSpec specsched.SweepSpec) {
+	spec := flagSpec
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		spec = specsched.SweepSpec{}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	sweep, err := specsched.NewSweepFromSpec(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if dump {
+		data, err := json.MarshalIndent(sweep.Spec(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	failed := false
+	for cell, cerr := range sweep.Results(context.Background()) {
+		if cell.CellRef == (specsched.CellRef{}) && cerr != nil {
+			fatal(cerr)
+		}
+		switch {
+		case cerr != nil:
+			failed = true
+			fmt.Printf("%-40s FAILED: %v\n", cell.CellRef, cerr)
+		default:
+			note := ""
+			if cell.Cached {
+				note = "  (checkpoint)"
+			}
+			if cell.Deduped {
+				note = "  (deduped)"
+			}
+			fmt.Printf("%-40s IPC %6.3f  cycles %9d  replays %d%s\n",
+				cell.CellRef, cell.Run.IPC(), cell.Run.Cycles,
+				cell.Run.ReplayedMiss+cell.Run.ReplayedBank, note)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,87 @@
+// Command specschedd serves specsched sweeps over HTTP: clients POST a
+// declarative SweepSpec and stream finished cells back as NDJSON or SSE.
+// The daemon runs a bounded job queue with per-client round-robin
+// fairness, dedupes identical cells across concurrent jobs through a
+// shared result cache, and persists per-job manifests and resume
+// checkpoints under -state so a killed daemon picks up where it stopped.
+//
+// Quickstart:
+//
+//	specschedd -addr :8372 -state /var/lib/specsched &
+//	curl -s -X POST localhost:8372/v1/sweeps \
+//	     -H 'X-Specsched-Client: alice' \
+//	     -d '{"configs":["Baseline_0"],"workloads":["gcc","mcf"]}'
+//	curl -sN localhost:8372/v1/sweeps/<id>/cells
+//
+// See EXPERIMENTS.md ("Serving sweeps") for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specsched/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("specschedd: ")
+
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address")
+	state := flag.String("state", "", "state directory for job manifests and resume checkpoints (empty = in-memory only)")
+	maxQueue := flag.Int("max-queue", 64, "maximum queued (not yet running) jobs")
+	maxRunning := flag.Int("max-running", 2, "sweeps executed concurrently")
+	cacheEntries := flag.Int("cache-entries", 0, "shared cell-result cache size (0 = default)")
+	sweepJobs := flag.Int("sweep-jobs", 0, "cap each sweep's worker count (0 = honor specs)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: specschedd [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc, err := service.New(service.Config{
+		StateDir:     *state,
+		MaxQueue:     *maxQueue,
+		MaxRunning:   *maxRunning,
+		CacheEntries: *cacheEntries,
+		SweepJobs:    *sweepJobs,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (state=%q, max-running=%d)", *addr, *state, *maxRunning)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: shutting down", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Stop sweeps first — their manifests stay "running" so the next
+	// daemon resumes them from checkpoint — then drain HTTP briefly.
+	// Streamers are unblocked by the service shutdown itself.
+	svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+}

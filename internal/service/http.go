@@ -1,0 +1,273 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"specsched"
+)
+
+// ClientHeader names the submitting client for queue fairness. Absent or
+// empty, the client is "default".
+const ClientHeader = "X-Specsched-Client"
+
+// maxSpecBytes bounds a submitted SweepSpec body.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/sweeps                 submit a SweepSpec, get a job ID (202)
+//	GET    /v1/sweeps                 list jobs
+//	GET    /v1/sweeps/{id}            job status + failure report
+//	DELETE /v1/sweeps/{id}            cancel a job
+//	GET    /v1/sweeps/{id}/cells      stream finished cells (NDJSON, or SSE
+//	                                  with Accept: text/event-stream);
+//	                                  resumable via ?after=N / Last-Event-ID
+//	GET    /v1/sweeps/{id}/report/{name}  render a named report (done jobs)
+//	GET    /healthz                   liveness
+//	GET    /metrics                   Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/cells", s.handleCells)
+	mux.HandleFunc("GET /v1/sweeps/{id}/report/{name}", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the uniform error body: a message plus a machine-matchable
+// kind derived from the façade's sentinel taxonomy.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, specsched.ErrInvalidConfig):
+		return "invalid_config"
+	case errors.Is(err, specsched.ErrUnknownWorkload):
+		return "unknown_workload"
+	case errors.Is(err, specsched.ErrBadTrace):
+		return "bad_trace"
+	case errors.Is(err, specsched.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrClosed):
+		return "shutting_down"
+	}
+	return ""
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error(), Kind: errKind(err)})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec specsched.SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	// Strict decoding: a misspelled axis would otherwise silently sweep
+	// the defaults, which for a service is worse than a 400.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error(), Kind: "bad_json"})
+		return
+	}
+	client := r.Header.Get(ClientHeader)
+	j, err := s.Submit(client, spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status(false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status(r.URL.Query().Get("spec") == "1"))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j)
+	writeJSON(w, http.StatusOK, j.Status(false))
+}
+
+// handleCells streams the job's finished cells from ?after=N on (N cells
+// already received; default 0). Default framing is NDJSON — one CellRecord
+// per line, connection closing when the job is terminal. With
+// Accept: text/event-stream it speaks SSE instead: each cell is an event
+// whose id is its index (so EventSource reconnection resumes for free via
+// Last-Event-ID), and a final "done" event carries the terminal status.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad after cursor", Kind: "bad_cursor"})
+			return
+		}
+		after = n
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				after = n + 1
+			}
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	next := after
+	for {
+		cells, state, wait := j.cellsFrom(next)
+		for _, c := range cells {
+			data, err := json.Marshal(c)
+			if err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "id: %d\nevent: cell\ndata: %s\n\n", c.Index, data)
+			} else {
+				w.Write(data)
+				w.Write([]byte{'\n'})
+			}
+		}
+		next += len(cells)
+		if flusher != nil && len(cells) > 0 {
+			flusher.Flush()
+		}
+		if wait == nil {
+			if state.Terminal() {
+				if sse {
+					data, _ := json.Marshal(j.Status(false))
+					fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+					if flusher != nil {
+						flusher.Flush()
+					}
+				}
+				return
+			}
+			// New cells landed between snapshot and wait registration;
+			// loop to pick them up.
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return // daemon shutting down; client reconnects to the next one
+		case <-wait:
+		}
+	}
+}
+
+// handleReport renders one named experiment report for a finished job.
+// Reports run whatever extra cells their grids need, so the request can
+// take a while; it is bound to the request context.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if j.State() != JobDone {
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("job %s is %s; reports need a done job", j.ID, j.State()),
+			Kind:  "not_done",
+		})
+		return
+	}
+	name := r.PathValue("name")
+	if !slicesContains(specsched.Reports(), name) {
+		writeJSON(w, http.StatusNotFound, apiError{
+			Error: fmt.Sprintf("unknown report %q (see /v1/sweeps/%s for the list)", name, j.ID),
+			Kind:  "unknown_report",
+		})
+		return
+	}
+	sweep := j.sweepRef()
+	if sweep == nil {
+		// Terminal without a sweep only happens for recovered failed jobs,
+		// which can't reach here (state is not done); defend anyway.
+		writeJSON(w, http.StatusConflict, apiError{Error: "job has no live sweep", Kind: "not_done"})
+		return
+	}
+	out, err := sweep.Report(r.Context(), name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(out))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	g := gauges{queued: s.queued, running: s.running}
+	s.mu.Unlock()
+	g.cache = s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.render(w, g)
+}

@@ -1,0 +1,256 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServiceHTTP drives the whole wire API through a real HTTP server:
+// submit, live NDJSON streaming, the ?after= resume cursor, SSE framing
+// with Last-Event-ID resumption, status with and without the spec echo,
+// error mapping, metrics exposition, and health.
+func TestServiceHTTP(t *testing.T) {
+	spec := testSpec()
+	want := runBaseline(t, spec)
+
+	srv, err := New(Config{MaxRunning: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string, hdr ...string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(hdr); i += 2 {
+			req.Header.Set(hdr[i], hdr[i+1])
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Liveness first.
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Submission errors map to 400s with machine-matchable kinds.
+	for _, tc := range []struct {
+		body, kind string
+	}{
+		{`{"konfigs":["Baseline_0"]}`, "bad_json"}, // unknown field: strict decode
+		{`{"configs":["Baseline_9"]}`, "invalid_config"},
+		{`{"configs":["Baseline_0"],"workloads":["nope"]}`, "unknown_workload"},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || apiErr.Kind != tc.kind {
+			t.Fatalf("submit %s: %d kind %q, want 400 %q", tc.body, resp.StatusCode, apiErr.Kind, tc.kind)
+		}
+	}
+
+	// A good submission: 202, a Location header, and a queued/running job.
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweeps", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ClientHeader, "curl-test")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" || st.Client != "curl-test" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, st)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/sweeps/"+st.ID {
+		t.Fatalf("Location %q", loc)
+	}
+
+	// Live NDJSON stream: the connection opens while the job runs, blocks
+	// for new cells, and closes at the terminal state with the full log.
+	streamResp, err := ts.Client().Get(ts.URL + "/v1/sweeps/" + st.ID + "/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := streamResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream Content-Type %q", ct)
+	}
+	var streamed []CellRecord
+	sc := bufio.NewScanner(streamResp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec CellRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		streamed = append(streamed, rec)
+	}
+	streamResp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	checkCells(t, "ndjson stream", streamed, want)
+	for i, rec := range streamed {
+		if rec.Index != i {
+			t.Fatalf("stream record %d carries index %d", i, rec.Index)
+		}
+	}
+
+	// The job is terminal now; status reflects it, with the spec echoed
+	// only on request.
+	resp2, body := get("/v1/sweeps/" + st.ID)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d %s", resp2.StatusCode, body)
+	}
+	var done JobStatus
+	if err := json.Unmarshal(body, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone || done.DoneCells != len(want) || done.Spec != nil {
+		t.Fatalf("status: %+v", done)
+	}
+	if len(done.Reports) == 0 {
+		t.Fatal("done job lists no reports")
+	}
+	_, body = get("/v1/sweeps/" + st.ID + "?spec=1")
+	var withSpec JobStatus
+	if err := json.Unmarshal(body, &withSpec); err != nil {
+		t.Fatal(err)
+	}
+	if withSpec.Spec == nil || len(withSpec.Spec.Configs) != len(spec.Configs) {
+		t.Fatalf("spec echo: %+v", withSpec.Spec)
+	}
+
+	// Resume cursor: ?after=N skips the first N records.
+	resp3, body := get(fmt.Sprintf("/v1/sweeps/%s/cells?after=%d", st.ID, len(want)-1))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("resume: %d", resp3.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("resume from %d returned %d records, want 1", len(want)-1, len(lines))
+	}
+	var last CellRecord
+	if err := json.Unmarshal([]byte(lines[0]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Index != len(want)-1 {
+		t.Fatalf("resumed record has index %d, want %d", last.Index, len(want)-1)
+	}
+	if resp4, _ := get("/v1/sweeps/" + st.ID + "/cells?after=x"); resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor: %d, want 400", resp4.StatusCode)
+	}
+
+	// SSE framing: one "cell" event per record with its index as the event
+	// id, then a final "done" event carrying the terminal status.
+	resp5, body := get("/v1/sweeps/"+st.ID+"/cells", "Accept", "text/event-stream")
+	if ct := resp5.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type %q", ct)
+	}
+	events := strings.Split(strings.TrimSpace(string(body)), "\n\n")
+	if len(events) != len(want)+1 {
+		t.Fatalf("SSE sent %d events, want %d cells + done", len(events), len(want))
+	}
+	for i, ev := range events[:len(want)] {
+		if !strings.Contains(ev, fmt.Sprintf("id: %d\n", i)) || !strings.Contains(ev, "event: cell\n") {
+			t.Fatalf("SSE event %d malformed:\n%s", i, ev)
+		}
+	}
+	if !strings.Contains(events[len(want)], "event: done") {
+		t.Fatalf("no terminal done event:\n%s", events[len(want)])
+	}
+	// EventSource reconnection: Last-Event-ID resumes after that cell.
+	_, body = get("/v1/sweeps/"+st.ID+"/cells",
+		"Accept", "text/event-stream", "Last-Event-ID", fmt.Sprint(len(want)-2))
+	if n := strings.Count(string(body), "event: cell"); n != 1 {
+		t.Fatalf("Last-Event-ID resume replayed %d cells, want 1", n)
+	}
+
+	// Report endpoint guards: unknown job 404, unknown report name 404.
+	if resp6, _ := get("/v1/sweeps/nope"); resp6.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp6.StatusCode)
+	}
+	if resp7, _ := get("/v1/sweeps/" + st.ID + "/report/nope"); resp7.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown report: %d, want 404", resp7.StatusCode)
+	}
+
+	// List includes the job.
+	_, body = get("/v1/sweeps")
+	var list []JobStatus
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// Metrics exposition: the advertised counters exist and the cache
+	// counters add up (one grid simulated, zero shared — single job).
+	_, body = get("/metrics")
+	metricsText := string(body)
+	for _, name := range []string{
+		"specschedd_jobs_queued", "specschedd_jobs_running",
+		"specschedd_jobs_completed_total 1",
+		fmt.Sprintf("specschedd_cells_completed_total %d", len(want)),
+		fmt.Sprintf("specschedd_cells_simulated_total %d", len(want)),
+		"specschedd_cells_deduped_total 0",
+		"specschedd_cells_cache_hits_total 0",
+	} {
+		if !strings.Contains(metricsText, name) {
+			t.Fatalf("metrics missing %q:\n%s", name, metricsText)
+		}
+	}
+
+	// DELETE on a terminal job reports its (unchanged) final state.
+	delReq, err := http.NewRequest("DELETE", ts.URL+"/v1/sweeps/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp8, err := ts.Client().Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterCancel JobStatus
+	if err := json.NewDecoder(resp8.Body).Decode(&afterCancel); err != nil {
+		t.Fatal(err)
+	}
+	resp8.Body.Close()
+	if afterCancel.State != JobDone {
+		t.Fatalf("cancel of a done job changed its state to %s", afterCancel.State)
+	}
+}

@@ -1,0 +1,499 @@
+// Package service is the engine behind specschedd, the sweep-serving
+// daemon: a bounded job queue with per-client round-robin fairness, a
+// dispatcher running a fixed number of sweeps at once, cross-job cell
+// deduplication and result caching through a shared specsched.CellCache,
+// and restart recovery — every job persists a manifest and a resume
+// checkpoint under its state directory, so a killed daemon re-enqueues
+// interrupted jobs and resumes them from checkpoint instead of
+// recomputing.
+//
+// The package is deliberately a pure consumer of the public specsched
+// façade: every sweep it runs goes through SweepSpec validation,
+// NewSweepFromSpec, and Results(ctx), exactly like an external caller.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"specsched"
+)
+
+// ErrQueueFull rejects submissions when the queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed rejects submissions after Close.
+var ErrClosed = errors.New("service: server is shutting down")
+
+// errShutdown is the cancellation cause used for daemon shutdown, so
+// runJob can tell it apart from a client's cancel request.
+var errShutdown = errors.New("service: daemon shutting down")
+
+// Config parameterizes a Server. The zero value works: in-memory state
+// (no recovery), a small queue, two concurrent sweeps.
+type Config struct {
+	// StateDir holds one manifest (<id>.job) and one resume checkpoint
+	// (<id>.ckpt) per job. Empty disables persistence and recovery.
+	StateDir string
+	// MaxQueue bounds the number of queued (not yet running) jobs;
+	// submissions beyond it fail with ErrQueueFull. 0 selects 64.
+	MaxQueue int
+	// MaxRunning is how many sweeps execute concurrently. 0 selects 2.
+	MaxRunning int
+	// CacheEntries bounds the shared cell cache (0 selects the
+	// specsched.NewCellCache default).
+	CacheEntries int
+	// SweepJobs caps each sweep's worker count. A spec asking for more —
+	// or for the default (0 = GOMAXPROCS) — is clamped to it, so one
+	// greedy job cannot monopolize the machine. 0 leaves specs alone.
+	SweepJobs int
+	// Logf receives operational log lines. Nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job table, the fair queue, and the dispatcher. Create
+// one with New, expose it with Handler, stop it with Close.
+type Server struct {
+	cfg   Config
+	cache *specsched.CellCache
+	m     metrics
+	logf  func(format string, args ...any)
+
+	ctx      context.Context
+	shutdown context.CancelCauseFunc
+	wg       sync.WaitGroup
+	wake     chan struct{}
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	queues  map[string][]*Job // per-client FIFO of queued jobs
+	ring    []string          // round-robin order of clients ever enqueued
+	rr      int               // next ring slot to serve
+	queued  int
+	running int
+	seq     uint64
+	closed  bool
+}
+
+// New builds a server, recovers any persisted jobs from cfg.StateDir
+// (interrupted jobs re-enqueue and resume from their checkpoints; jobs
+// that had finished re-enqueue too and replay entirely from checkpoint,
+// so their cells are streamable again), and starts the dispatcher.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.MaxRunning <= 0 {
+		cfg.MaxRunning = 2
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		cache:    specsched.NewCellCache(cfg.CacheEntries),
+		logf:     logf,
+		ctx:      ctx,
+		shutdown: cancel,
+		wake:     make(chan struct{}, 1),
+		jobs:     make(map[string]*Job),
+		queues:   make(map[string][]*Job),
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			cancel(nil)
+			return nil, fmt.Errorf("service: state dir: %w", err)
+		}
+		if err := s.recover(); err != nil {
+			cancel(nil)
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Cache exposes the shared cell cache (for stats).
+func (s *Server) Cache() *specsched.CellCache { return s.cache }
+
+// Submit validates the spec, enqueues a job for the given client, and
+// returns it. Validation errors are the façade's typed sentinels
+// (ErrInvalidConfig, ErrUnknownWorkload, ErrBadTrace) — the HTTP layer
+// maps them to 400s. The daemon runs raw grids, so a spec without
+// configurations is rejected here even though the façade accepts one.
+func (s *Server) Submit(client string, spec specsched.SweepSpec) (*Job, error) {
+	if len(spec.Configs) == 0 {
+		return nil, fmt.Errorf("%w: a submitted sweep needs at least one configuration", specsched.ErrInvalidConfig)
+	}
+	if _, err := specsched.NewSweepFromSpec(spec); err != nil {
+		return nil, err
+	}
+	if client == "" {
+		client = "default"
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.queued >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	seq := s.seq
+	s.seq++
+	id := s.jobIDLocked(seq, client, spec)
+	j := newJob(id, client, seq, spec)
+	s.jobs[id] = j
+	s.enqueueLocked(j)
+	s.mu.Unlock()
+	s.persist(j)
+	s.kick()
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// Cancel cancels a job: a queued one leaves the queue and finishes
+// immediately; a running one has its sweep context canceled and finishes
+// when the sweep unwinds (already-completed cells stay streamable).
+// Terminal jobs are left alone.
+func (s *Server) Cancel(j *Job) {
+	s.mu.Lock()
+	removed := s.removeQueuedLocked(j)
+	s.mu.Unlock()
+	if removed {
+		s.finishJob(j, JobCanceled, specsched.ErrCanceled)
+		return
+	}
+	j.requestCancel(specsched.ErrCanceled)
+}
+
+// Close stops accepting jobs, cancels running sweeps with a shutdown
+// cause (their manifests keep state "running"/"queued" so a restart
+// resumes them), and waits for the dispatcher and job goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.shutdown(errShutdown)
+	s.kick()
+	s.wg.Wait()
+}
+
+// kick nudges the dispatcher without blocking.
+func (s *Server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the scheduler loop: as long as a run slot is free it starts
+// the next job the fairness policy picks, then sleeps until kicked.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.running < s.cfg.MaxRunning {
+			j := s.nextLocked()
+			if j == nil {
+				break
+			}
+			s.running++
+			s.wg.Add(1)
+			go s.runJob(j)
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.wake:
+		}
+	}
+}
+
+// enqueueLocked appends the job to its client's FIFO, registering the
+// client in the round-robin ring on first contact.
+func (s *Server) enqueueLocked(j *Job) {
+	if _, ok := s.queues[j.Client]; !ok {
+		if !slicesContains(s.ring, j.Client) {
+			s.ring = append(s.ring, j.Client)
+		}
+	}
+	s.queues[j.Client] = append(s.queues[j.Client], j)
+	s.queued++
+}
+
+func slicesContains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// nextLocked implements per-client round-robin: starting after the last
+// served client, take the head of the first non-empty client queue. A
+// client that floods the queue therefore only delays its own jobs — other
+// clients' heads are served in between.
+func (s *Server) nextLocked() *Job {
+	n := len(s.ring)
+	for i := 0; i < n; i++ {
+		slot := (s.rr + i) % n
+		client := s.ring[slot]
+		q := s.queues[client]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		s.queues[client] = q[1:]
+		s.queued--
+		s.rr = (slot + 1) % n
+		return j
+	}
+	return nil
+}
+
+// removeQueuedLocked pulls a still-queued job out of its client's FIFO;
+// it reports false if the job already left the queue (running/terminal).
+func (s *Server) removeQueuedLocked(j *Job) bool {
+	q := s.queues[j.Client]
+	for i, cand := range q {
+		if cand == j {
+			s.queues[j.Client] = append(q[:i:i], q[i+1:]...)
+			s.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// runJob drives one sweep end to end through the public façade.
+func (s *Server) runJob(j *Job) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.kick()
+	}()
+
+	ctx, cancel := context.WithCancelCause(s.ctx)
+	defer cancel(nil)
+	ok, cancelPending := j.start(cancel)
+	if !ok {
+		return
+	}
+	if cancelPending {
+		// The DELETE raced the dispatcher: the request arrived after the
+		// job left the queue but before the sweep context existed.
+		cancel(specsched.ErrCanceled)
+	}
+	s.persist(j)
+
+	spec := j.Spec
+	spec.Checkpoint = s.checkpointPath(j.ID) // daemon-owned; client paths are ignored
+	if s.cfg.SweepJobs > 0 && (spec.Jobs <= 0 || spec.Jobs > s.cfg.SweepJobs) {
+		spec.Jobs = s.cfg.SweepJobs
+	}
+	sweep, err := specsched.NewSweepFromSpec(spec,
+		specsched.SweepCellCache(s.cache),
+		specsched.SweepProgress(func(p specsched.Progress) {
+			s.m.onProgress(p)
+			j.noteTotal(p.Total)
+		}),
+	)
+	if err != nil {
+		s.finishJob(j, JobFailed, err)
+		return
+	}
+	j.setSweep(sweep)
+
+	var terminal error
+	for cell, cerr := range sweep.Results(ctx) {
+		if cell.CellRef == (specsched.CellRef{}) && cerr != nil {
+			terminal = cerr
+			break
+		}
+		j.appendCell(cell)
+	}
+	switch {
+	case terminal == nil:
+		s.finishJob(j, JobDone, nil)
+	case errors.Is(terminal, specsched.ErrCanceled) && j.cancelRequested():
+		s.finishJob(j, JobCanceled, terminal)
+	case errors.Is(terminal, specsched.ErrCanceled) && s.ctx.Err() != nil:
+		// Daemon shutdown, not a job outcome: the manifest still says
+		// "running", so the next daemon re-enqueues and resumes from the
+		// checkpoint. Wake streamers so they observe the stall and bail.
+		j.notifyAll()
+	default:
+		s.finishJob(j, JobFailed, terminal)
+	}
+}
+
+// finishJob applies a terminal transition once, then records metrics and
+// persists the final manifest.
+func (s *Server) finishJob(j *Job, state JobState, err error) {
+	if !j.finish(state, err) {
+		return
+	}
+	var fr specsched.FailureReport
+	if sweep := j.sweepRef(); sweep != nil {
+		fr = sweep.FailureReport()
+	}
+	s.m.onJobFinish(state, fr)
+	s.persist(j)
+	if err != nil && state == JobFailed {
+		s.logf("job %s failed: %v", j.ID, err)
+	}
+}
+
+// manifest is the persisted form of a job: identity, submitted spec, and
+// last known state. It deliberately omits the cell log — cells live in
+// the checkpoint, which is the recovery source of truth.
+type manifest struct {
+	ID     string              `json:"id"`
+	Client string              `json:"client"`
+	Seq    uint64              `json:"seq"`
+	State  JobState            `json:"state"`
+	Error  string              `json:"error,omitempty"`
+	Spec   specsched.SweepSpec `json:"spec"`
+}
+
+func (s *Server) manifestPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".job")
+}
+
+func (s *Server) checkpointPath(id string) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, id+".ckpt")
+}
+
+// persist writes the job's manifest atomically (temp file + rename).
+// Best-effort: a write failure degrades recovery, not the job.
+func (s *Server) persist(j *Job) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	j.mu.Lock()
+	m := manifest{ID: j.ID, Client: j.Client, Seq: j.seq, State: j.state, Spec: j.Spec}
+	if j.err != nil {
+		m.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		s.logf("job %s: manifest marshal: %v", j.ID, err)
+		return
+	}
+	path := s.manifestPath(j.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		s.logf("job %s: manifest write: %v", j.ID, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.logf("job %s: manifest rename: %v", j.ID, err)
+	}
+}
+
+// recover reloads persisted jobs. Interrupted jobs (queued or running at
+// the time of death) re-enqueue and resume from their checkpoints; done
+// jobs re-enqueue too and replay entirely from checkpoint so their cells
+// are streamable again; failed and canceled jobs stay terminal.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return fmt.Errorf("service: recover: %w", err)
+	}
+	var revived []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		path := filepath.Join(s.cfg.StateDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.logf("recover: %s: %v (skipped)", e.Name(), err)
+			continue
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.ID == "" {
+			s.logf("recover: %s: bad manifest (skipped)", e.Name())
+			continue
+		}
+		j := newJob(m.ID, m.Client, m.Seq, m.Spec)
+		if m.Seq >= s.seq {
+			s.seq = m.Seq + 1
+		}
+		switch m.State {
+		case JobFailed, JobCanceled:
+			j.state = m.State
+			if m.Error != "" {
+				j.err = errors.New(m.Error)
+			}
+			close(j.done)
+			s.jobs[j.ID] = j
+		default: // queued, running, done — all replay through the checkpoint
+			s.jobs[j.ID] = j
+			revived = append(revived, j)
+		}
+	}
+	sort.Slice(revived, func(a, b int) bool { return revived[a].seq < revived[b].seq })
+	for _, j := range revived {
+		s.enqueueLocked(j)
+	}
+	if len(s.jobs) > 0 {
+		s.logf("recovered %d job(s), %d re-enqueued", len(s.jobs), len(revived))
+	}
+	return nil
+}
+
+// jobIDLocked derives a short collision-checked ID from the submission.
+func (s *Server) jobIDLocked(seq uint64, client string, spec specsched.SweepSpec) string {
+	raw, _ := json.Marshal(spec)
+	for salt := uint64(0); ; salt++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d\x00%d\x00%s\x00", seq, salt, client)
+		h.Write(raw)
+		id := fmt.Sprintf("j%012x", h.Sum64()&0xffffffffffff)
+		if _, taken := s.jobs[id]; !taken {
+			return id
+		}
+	}
+}

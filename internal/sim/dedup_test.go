@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specsched/internal/config"
+	"specsched/internal/stats"
+)
+
+func TestDedupCacheHitAndShare(t *testing.T) {
+	d := NewDedupCache(8)
+	ctx := context.Background()
+	want := &stats.Run{Cycles: 42}
+
+	var calls atomic.Int64
+	fn := func() (*stats.Run, error) {
+		calls.Add(1)
+		time.Sleep(5 * time.Millisecond) // widen the sharing window
+		return want, nil
+	}
+
+	const callers = 8
+	srcs := make([]DedupSource, callers)
+	runs := make([]*stats.Run, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run, src, err := d.Do(ctx, "k", fn)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			runs[i], srcs[i] = run, src
+		}(i)
+	}
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times for one key, want 1", calls.Load())
+	}
+	executed := 0
+	for i := range srcs {
+		if runs[i] != want {
+			t.Fatalf("caller %d got a different run", i)
+		}
+		if srcs[i] == DedupExecuted {
+			executed++
+		}
+	}
+	if executed != 1 {
+		t.Fatalf("%d callers executed, want 1", executed)
+	}
+
+	if run, src, err := d.Do(ctx, "k", fn); err != nil || src != DedupHit || run != want {
+		t.Fatalf("repeat call: run=%p src=%v err=%v, want LRU hit of %p", run, src, err, want)
+	}
+	st := d.Stats()
+	if st.Executed != 1 || st.Hits != 1 || st.Shared != int64(callers-1) {
+		t.Fatalf("stats %+v, want 1 executed, 1 hit, %d shared", st, callers-1)
+	}
+}
+
+// TestDedupCacheOwnerFailureNotInherited: an owner that fails (its
+// cancellation, its chaos injection, its retry budget) must not fail the
+// waiters — they re-execute the key themselves, and errors never enter
+// the LRU.
+func TestDedupCacheOwnerFailureNotInherited(t *testing.T) {
+	d := NewDedupCache(8)
+	ctx := context.Background()
+
+	ownerIn := make(chan struct{})
+	ownerGo := make(chan struct{})
+	ownerErr := errors.New("owner-only failure")
+	go func() {
+		d.Do(ctx, "k", func() (*stats.Run, error) {
+			close(ownerIn)
+			<-ownerGo
+			return nil, ownerErr
+		})
+	}()
+	<-ownerIn
+
+	want := &stats.Run{Cycles: 7}
+	done := make(chan struct{})
+	var got *stats.Run
+	var gotSrc DedupSource
+	var gotErr error
+	go func() {
+		defer close(done)
+		got, gotSrc, gotErr = d.Do(ctx, "k", func() (*stats.Run, error) { return want, nil })
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("waiter returned before the owner resolved")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(ownerGo)
+	<-done
+	if gotErr != nil {
+		t.Fatalf("waiter inherited the owner's failure: %v", gotErr)
+	}
+	if gotSrc != DedupExecuted || got != want {
+		t.Fatalf("waiter got src=%v run=%p, want to re-execute itself", gotSrc, got)
+	}
+	if st := d.Stats(); st.Executed != 2 {
+		t.Fatalf("executed %d, want 2 (owner + retrying waiter)", st.Executed)
+	}
+}
+
+// TestDedupCacheWaiterCancel: a canceled waiter unblocks with its own
+// cancellation cause instead of waiting out a slow owner.
+func TestDedupCacheWaiterCancel(t *testing.T) {
+	d := NewDedupCache(8)
+	ownerIn := make(chan struct{})
+	ownerGo := make(chan struct{})
+	defer close(ownerGo)
+	go func() {
+		d.Do(context.Background(), "k", func() (*stats.Run, error) {
+			close(ownerIn)
+			<-ownerGo
+			return &stats.Run{}, nil
+		})
+	}()
+	<-ownerIn
+
+	cause := errors.New("my sweep was canceled")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, _, err := d.Do(ctx, "k", nil); !errors.Is(err, cause) {
+		t.Fatalf("canceled waiter returned %v, want its own cause", err)
+	}
+}
+
+func TestDedupCacheLRUEviction(t *testing.T) {
+	d := NewDedupCache(2)
+	ctx := context.Background()
+	mk := func(i int) func() (*stats.Run, error) {
+		return func() (*stats.Run, error) { return &stats.Run{Cycles: int64(i)}, nil }
+	}
+	for i := 0; i < 3; i++ {
+		if _, src, err := d.Do(ctx, fmt.Sprintf("k%d", i), mk(i)); err != nil || src != DedupExecuted {
+			t.Fatalf("fill %d: src=%v err=%v", i, src, err)
+		}
+	}
+	// k0 is the eviction victim; k1, k2 remain.
+	if _, src, _ := d.Do(ctx, "k0", mk(0)); src != DedupExecuted {
+		t.Fatalf("evicted key served from cache (src=%v)", src)
+	}
+	if _, src, _ := d.Do(ctx, "k2", mk(2)); src != DedupHit {
+		t.Fatalf("retained key not served from cache (src=%v)", src)
+	}
+	if st := d.Stats(); st.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", st.Entries)
+	}
+}
+
+// TestDedupKeyIdentity: the key must fold in exactly the inputs that
+// determine a cell's result — and nothing that doesn't exist yet, like
+// the config *name* alone (the digest covers renames-with-changes).
+func TestDedupKeyIdentity(t *testing.T) {
+	cfg, err := config.Preset("Baseline_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DedupKey(Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 100, 400, nil)
+
+	if k := DedupKey(Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 100, 400, nil); k != base {
+		t.Fatal("identical cells must share a key")
+	}
+	if k := DedupKey(Cell{Config: cfg, Workload: "gzip", SeedIdx: 1}, 100, 400, nil); k == base {
+		t.Fatal("seed index not in the key")
+	}
+	if k := DedupKey(Cell{Config: cfg, Workload: "hmmer", SeedIdx: 0}, 100, 400, nil); k == base {
+		t.Fatal("workload not in the key")
+	}
+	if k := DedupKey(Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 100, 500, nil); k == base {
+		t.Fatal("window not in the key")
+	}
+	changed := cfg
+	changed.IssueWidth++
+	if k := DedupKey(Cell{Config: changed, Workload: "gzip", SeedIdx: 0}, 100, 400, nil); k == base {
+		t.Fatal("config contents not in the key")
+	}
+	// A trace workload keys on the trace's content identity, not its name.
+	traces := TraceSet{"gzip": {Name: "gzip"}}
+	withTrace := DedupKey(Cell{Config: cfg, Workload: "gzip", SeedIdx: 0}, 100, 400, traces)
+	if withTrace == base {
+		t.Fatal("trace-backed workload shares a key with the synthetic profile")
+	}
+}

@@ -67,11 +67,16 @@ type Progress struct {
 	Retried   int // extra attempts spent on retries
 	Recovered int // cells that succeeded after at least one retry
 	Abandoned int // goroutines abandoned to timeouts/stalls (total)
+	// Deduped counts cells served by the shared Dedup cache — either from
+	// its LRU or by waiting on another pool's in-flight execution of the
+	// identical cell — instead of simulating here.
+	Deduped int
 	// Cell is the cell that just finished; Elapsed its wall-clock seconds
 	// across every attempt; CellAttempts how many attempts it took.
 	Cell         Cell
 	CellErr      error
 	CellCached   bool
+	CellDeduped  bool
 	CellAttempts int
 	Elapsed      float64
 }
@@ -128,6 +133,19 @@ type Pool struct {
 	// Checkpoint, when non-nil, satisfies already-completed cells without
 	// simulating and records fresh completions for future resumes.
 	Checkpoint *Checkpoint
+	// Dedup, when non-nil alongside DedupKey, deduplicates cells across
+	// every pool sharing the cache: a cell whose key another pool is
+	// already simulating waits for that result instead of recomputing it,
+	// and previously computed cells are served from the cache's LRU. The
+	// sharing is sound because equal keys imply bit-identical results
+	// (see DedupKey). Deduped results still count as this pool's
+	// completions (they stream, report progress, and are checkpointed)
+	// but carry Result.Deduped and skip the retry machinery — the
+	// executing pool already applied its own.
+	Dedup *DedupCache
+	// DedupKey maps a cell to its cross-pool identity; a "" return opts
+	// that cell out of deduplication.
+	DedupKey func(Cell) string
 	// OnProgress, when non-nil, is invoked after every finished cell, from
 	// a single collector goroutine (no synchronization needed inside).
 	OnProgress func(Progress)
@@ -174,6 +192,9 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 		if results[i].Cached {
 			prog.Cached++
 		}
+		if results[i].Deduped {
+			prog.Deduped++
+		}
 		if a := results[i].Attempts; a > 1 {
 			prog.Retried += a - 1
 			if results[i].Err == nil {
@@ -184,6 +205,7 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 		if p.OnProgress != nil {
 			prog.Cell, prog.CellErr = results[i].Cell, results[i].Err
 			prog.CellCached, prog.Elapsed = results[i].Cached, results[i].Elapsed
+			prog.CellDeduped = results[i].Deduped
 			prog.CellAttempts = results[i].Attempts
 			p.OnProgress(prog)
 		}
@@ -239,7 +261,7 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 				if !ok {
 					return
 				}
-				results[idx] = p.runCellRetrying(ctx, cells[idx], fn)
+				results[idx] = p.runCellDeduped(ctx, cells[idx], fn)
 				finished <- idx
 			}
 		}(w)
@@ -275,6 +297,37 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 		}
 	}
 	return results
+}
+
+// runCellDeduped runs one cell through the shared dedup cache when one is
+// configured (and the cell has a key), falling back to the plain retrying
+// path otherwise. The retry policy runs inside the cache's single flight,
+// so concurrent pools asking for the same cell share one retried
+// execution; a waiter whose flight owner failed re-runs the cell itself
+// (its own retry budget, its own chaos plan) instead of inheriting a
+// foreign error.
+func (p *Pool) runCellDeduped(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error)) Result {
+	if p.Dedup == nil || p.DedupKey == nil {
+		return p.runCellRetrying(ctx, cell, fn)
+	}
+	key := p.DedupKey(cell)
+	if key == "" {
+		return p.runCellRetrying(ctx, cell, fn)
+	}
+	start := time.Now()
+	var owned Result
+	run, src, err := p.Dedup.Do(ctx, key, func() (*stats.Run, error) {
+		owned = p.runCellRetrying(ctx, cell, fn)
+		return owned.Run, owned.Err
+	})
+	if src == DedupExecuted {
+		return owned
+	}
+	if err != nil {
+		// Canceled while waiting on another pool's flight.
+		return Result{Cell: cell, Err: fmt.Errorf("cell %s: %w", cell, err), Elapsed: time.Since(start).Seconds()}
+	}
+	return Result{Cell: cell, Run: run, Deduped: true, Elapsed: time.Since(start).Seconds()}
 }
 
 // maxAttempts returns the effective per-cell attempt bound.

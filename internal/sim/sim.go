@@ -64,6 +64,10 @@ type Result struct {
 	Run    *stats.Run
 	Err    error
 	Cached bool
+	// Deduped marks results served by a shared DedupCache — computed by a
+	// concurrent pool (or an earlier one) for an identical cell instead of
+	// being simulated here. The Run is shared: copy before mutating.
+	Deduped bool
 	// Attempts is how many attempts the cell took (1 = first try; >1
 	// means transient failures were retried). 0 for cached cells.
 	Attempts int

@@ -1,0 +1,259 @@
+package specsched_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"specsched"
+)
+
+func i64(v int64) *int64 { return &v }
+
+// TestSweepSpecRoundTrip pins the SweepSpec contract from three sides:
+// NewSweepFromSpec(s).Spec() is the identity for an explicit spec, the
+// JSON encoding round-trips losslessly (durations as strings included),
+// and a spec-built sweep simulates bit-identically to the equivalent
+// option-built sweep.
+func TestSweepSpecRoundTrip(t *testing.T) {
+	on := true
+	spec := specsched.SweepSpec{
+		Configs:         []string{"Baseline_0", "SpecSched_4"},
+		Workloads:       []string{"gzip", "hmmer"},
+		Seeds:           2,
+		Jobs:            4,
+		Warmup:          i64(1000),
+		Measure:         i64(4000),
+		Scheduler:       specsched.SchedulerEvent,
+		TimeSkip:        &on,
+		CellTimeout:     specsched.Duration(120 * 1e9),
+		StallTimeout:    specsched.Duration(30 * 1e9),
+		Retries:         2,
+		RetryBackoff:    specsched.Duration(5 * 1e6),
+		MaxRetryBackoff: specsched.Duration(100 * 1e6),
+		AbandonBudget:   8,
+	}
+
+	sweep, err := specsched.NewSweepFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sweep.Spec(); !reflect.DeepEqual(got, spec) {
+		t.Fatalf("Spec() is not the inverse of NewSweepFromSpec:\n got  %+v\n want %+v", got, spec)
+	}
+
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back specsched.SweepSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Fatalf("JSON round trip changed the spec:\n json %s\n got  %+v\n want %+v", data, back, spec)
+	}
+
+	// Durations travel as human-readable strings, and both wire forms
+	// (string and nanoseconds) decode.
+	var wire map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire["stall_timeout"] != "30s" || wire["retry_backoff"] != "5ms" {
+		t.Fatalf("durations not marshaled as strings: %s", data)
+	}
+	var d specsched.Duration
+	if err := json.Unmarshal([]byte(`5000000`), &d); err != nil || d != specsched.Duration(5*1e6) {
+		t.Fatalf("nanosecond duration form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"fast"`), &d); err == nil {
+		t.Fatal("bad duration string must not decode")
+	}
+
+	// The spec-built sweep is the option-built sweep, bit for bit.
+	fromOpts, err := specsched.NewSweep(sweepOpts(specsched.SweepJobs(4))...).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSpec, err := sweep.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromSpec) != len(fromOpts) {
+		t.Fatalf("spec sweep ran %d cells, options sweep %d", len(fromSpec), len(fromOpts))
+	}
+	for i := range fromOpts {
+		a, b := fromOpts[i], fromSpec[i]
+		a.Run.Elapsed, b.Run.Elapsed = 0, 0
+		if a.CellRef != b.CellRef || a.Run != b.Run {
+			t.Fatalf("cell %s: spec-built sweep diverged from option-built", a.CellRef)
+		}
+	}
+}
+
+// TestSweepSpecDefaults: an empty spec picks up NewSweep's defaults, and
+// Spec() makes them explicit. Explicit zero warmup is honored, not
+// defaulted — the pointer distinguishes absent from zero.
+func TestSweepSpecDefaults(t *testing.T) {
+	sweep, err := specsched.NewSweepFromSpec(specsched.SweepSpec{Configs: []string{"Baseline_0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sweep.Spec()
+	if *got.Warmup != specsched.DefaultWarmup || *got.Measure != specsched.DefaultMeasure {
+		t.Fatalf("defaults not applied: warmup %d, measure %d", *got.Warmup, *got.Measure)
+	}
+	if got.Seeds != 1 {
+		t.Fatalf("seed default not canonicalized: %d", got.Seeds)
+	}
+
+	zero, err := specsched.NewSweepFromSpec(specsched.SweepSpec{
+		Configs: []string{"Baseline_0"}, Warmup: i64(0), Measure: i64(500),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *zero.Spec().Warmup != 0 {
+		t.Fatal("explicit zero warmup was overridden by the default")
+	}
+}
+
+// TestSweepSpecGolden guards the wire format itself: the committed sample
+// spec must decode, build, and survive the Spec() round trip as the exact
+// bytes on disk. A marshaling change that would break saved spec files or
+// daemon clients fails here first.
+func TestSweepSpecGolden(t *testing.T) {
+	const golden = "testdata/sweepspec.json"
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec specsched.SweepSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatalf("%s: %v", golden, err)
+	}
+	sweep, err := specsched.NewSweepFromSpec(spec)
+	if err != nil {
+		t.Fatalf("%s does not build: %v", golden, err)
+	}
+	out, err := json.MarshalIndent(sweep.Spec(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if string(out) != string(data) {
+		if os.Getenv("SPECSCHED_UPDATE_SPEC") != "" {
+			if err := os.WriteFile(golden, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s", golden)
+			return
+		}
+		t.Fatalf("wire format drifted from %s (SPECSCHED_UPDATE_SPEC=1 to regenerate):\n got %s\nwant %s",
+			golden, out, data)
+	}
+}
+
+// TestSweepSpecValidation is the error-taxonomy table: every way a spec
+// can be wrong maps to exactly the documented sentinel, at construction
+// time rather than at run time.
+func TestSweepSpecValidation(t *testing.T) {
+	dir := t.TempDir()
+	okTrace := filepath.Join(dir, "gzip.trace")
+	if err := specsched.WorkloadByName("gzip").Record(okTrace, 4000); err != nil {
+		t.Fatal(err)
+	}
+	dupDir := filepath.Join(dir, "dup")
+	if err := os.MkdirAll(dupDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dupTrace := filepath.Join(dupDir, "gzip.trace")
+	if err := specsched.WorkloadByName("gzip").Record(dupTrace, 4000); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		spec specsched.SweepSpec
+		want error
+	}{
+		{"unknown config", specsched.SweepSpec{Configs: []string{"Baseline_9"}}, specsched.ErrInvalidConfig},
+		{"unknown workload", specsched.SweepSpec{Workloads: []string{"nope"}}, specsched.ErrUnknownWorkload},
+		{"bad scheduler", specsched.SweepSpec{Scheduler: "magic"}, specsched.ErrInvalidConfig},
+		{"missing trace", specsched.SweepSpec{Traces: []string{filepath.Join(dir, "nope.trace")}}, specsched.ErrBadTrace},
+		{"duplicate trace stems", specsched.SweepSpec{Traces: []string{okTrace, dupTrace}}, specsched.ErrInvalidConfig},
+		{"negative seeds", specsched.SweepSpec{Seeds: -1}, specsched.ErrInvalidConfig},
+		{"negative jobs", specsched.SweepSpec{Jobs: -2}, specsched.ErrInvalidConfig},
+		{"negative retries", specsched.SweepSpec{Retries: -1}, specsched.ErrInvalidConfig},
+		{"negative warmup", specsched.SweepSpec{Warmup: i64(-1)}, specsched.ErrInvalidConfig},
+		{"zero measure", specsched.SweepSpec{Measure: i64(0)}, specsched.ErrInvalidConfig},
+		{"negative cell timeout", specsched.SweepSpec{CellTimeout: -1}, specsched.ErrInvalidConfig},
+		{"negative backoff", specsched.SweepSpec{RetryBackoff: -1}, specsched.ErrInvalidConfig},
+		{"chaos rate out of range", specsched.SweepSpec{Chaos: &specsched.Chaos{PanicRate: 1.5}}, specsched.ErrInvalidConfig},
+	}
+	for _, tc := range cases {
+		sweep, err := specsched.NewSweepFromSpec(tc.spec)
+		if sweep != nil || err == nil {
+			t.Errorf("%s: spec was accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v does not match %v", tc.name, err, tc.want)
+		}
+	}
+
+	// A trace workload name is valid precisely because the trace is listed.
+	if _, err := specsched.NewSweepFromSpec(specsched.SweepSpec{
+		Configs: []string{"Baseline_0"}, Workloads: []string{"gzip"}, Traces: []string{okTrace},
+	}); err != nil {
+		t.Fatalf("trace-backed workload rejected: %v", err)
+	}
+}
+
+// TestSpecSweepWithTraces: a spec-built trace sweep replays recorded
+// streams exactly like the option-built equivalent.
+func TestSpecSweepWithTraces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hmmer.trace")
+	if err := specsched.WorkloadByName("hmmer").Record(path, 6000); err != nil {
+		t.Fatal(err)
+	}
+	spec := specsched.SweepSpec{
+		Configs: []string{"Baseline_0"},
+		Traces:  []string{path},
+		Warmup:  i64(500),
+		Measure: i64(2000),
+	}
+	sweep, err := specsched.NewSweepFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := sweep.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Workload != "hmmer" {
+		t.Fatalf("trace sweep cells: %+v", cells)
+	}
+	want, err := specsched.NewSweep(
+		specsched.SweepConfigs("Baseline_0"),
+		specsched.SweepTraces(path),
+		specsched.SweepWarmup(500),
+		specsched.SweepMeasure(2000),
+	).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := cells[0].Run, want[0].Run
+	a.Elapsed, b.Elapsed = 0, 0
+	if a != b {
+		t.Fatal("spec-built trace sweep diverged from option-built")
+	}
+	if !reflect.DeepEqual(sweep.Spec().Traces, []string{path}) {
+		t.Fatal("traces lost in the Spec() round trip")
+	}
+}

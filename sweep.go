@@ -54,24 +54,30 @@ type Cell struct {
 	Run    results.Run
 	Err    error
 	Cached bool
+	// Deduped marks cells served by a shared CellCache (SweepCellCache):
+	// an identical cell computed by — or concurrently in flight on —
+	// another attached sweep, not re-simulated here.
+	Deduped bool
 	// Attempts is how many attempts the cell took (1 = first try; >1 means
 	// transient failures were retried, see SweepRetries). 0 for cached
-	// cells.
+	// and deduped cells.
 	Attempts int
 }
 
 // Progress is a sweep progress snapshot delivered after every finished
 // cell (checkpoint-satisfied cells included).
 type Progress struct {
-	Done   int // cells finished so far (failed and cached included)
-	Total  int // cells in the sweep
-	Failed int // cells that errored, panicked, or timed out
-	Cached int // cells satisfied from the resume checkpoint
+	Done    int // cells finished so far (failed and cached included)
+	Total   int // cells in the sweep
+	Failed  int // cells that errored, panicked, or timed out
+	Cached  int // cells satisfied from the resume checkpoint
+	Deduped int // cells served by the shared CellCache, not simulated here
 	// Cell is the cell that just finished, Err its failure (nil if it
 	// succeeded), Elapsed the wall clock it took (0 if cached).
 	Cell    CellRef
 	Err     error
 	IsCache bool
+	IsDedup bool
 	Elapsed time.Duration
 	// Attempts is how many attempts this cell took (0 for cached cells;
 	// >1 means transient failures were retried).
@@ -106,6 +112,7 @@ type Sweep struct {
 	maxRetryBackoff time.Duration
 	abandonBudget   int
 	chaos           *Chaos
+	cellCache       *CellCache
 	onProgress      func(Progress)
 
 	mu        sync.Mutex
@@ -397,6 +404,12 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 		Checkpoint:      cp,
 		OnResult:        onResult,
 	}
+	if s.cellCache != nil {
+		pool.Dedup = s.cellCache.d
+		pool.DedupKey = func(c sim.Cell) string {
+			return sim.DedupKey(c, s.warmup, s.measure, traces)
+		}
+	}
 	pool.OnProgress = s.poolProgress()
 	res := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
 		return sim.SimulateCell(ctx, c, s.warmup, s.measure, traces)
@@ -405,7 +418,7 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 	var executed int64
 	var failures int
 	for _, r := range res {
-		if r.Err == nil && !r.Cached {
+		if r.Err == nil && !r.Cached && !r.Deduped {
 			executed += s.warmup + s.measure
 		}
 		if r.Err != nil {
@@ -479,9 +492,11 @@ func (s *Sweep) poolProgress() func(sim.Progress) {
 		if fn != nil {
 			fn(Progress{
 				Done: p.Done, Total: p.Total, Failed: p.Failed, Cached: p.Cached,
+				Deduped:  p.Deduped,
 				Cell:     ref,
 				Err:      mapCellErr(p.CellErr),
 				IsCache:  p.CellCached,
+				IsDedup:  p.CellDeduped,
 				Elapsed:  time.Duration(p.Elapsed * float64(time.Second)),
 				Attempts: p.CellAttempts,
 			})
@@ -524,6 +539,13 @@ type FailureReport struct {
 // It may be called mid-sweep (from a progress callback or another
 // goroutine) for a consistent snapshot, or after Run/Results/Report to
 // summarize what failed, what recovered, and what the retry machinery paid.
+//
+// Concurrency: FailureReport is safe to call at any time from any
+// goroutine, including concurrently with Run, Results iteration, and
+// Report — all mutable sweep state is guarded by one mutex, the returned
+// report is a deep-enough copy (the CellFailure errors it shares are
+// immutable), and nothing in it aliases state a running sweep will mutate.
+// The specschedd status endpoint calls it on live jobs on every poll.
 func (s *Sweep) FailureReport() FailureReport {
 	s.mu.Lock()
 	fr := FailureReport{
@@ -562,6 +584,7 @@ func toCell(r sim.Result) Cell {
 		CellRef:  CellRef{Config: r.Cell.Config.Name, Workload: r.Cell.Workload, Seed: r.Cell.SeedIdx},
 		Err:      mapCellErr(r.Err),
 		Cached:   r.Cached,
+		Deduped:  r.Deduped,
 		Attempts: r.Attempts,
 	}
 	if r.Run != nil {
