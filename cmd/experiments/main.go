@@ -7,7 +7,7 @@
 //
 //	experiments [-exp all|table1,fig5,...] [-list]
 //	            [-measure N] [-warmup N] [-workloads a,b,c] [-filter REGEX]
-//	            [-trace GLOB] [-jobs N] [-seeds N] [-timeout DUR]
+//	            [-trace GLOB] [-jobs N] [-workers N] [-seeds N] [-timeout DUR]
 //	            [-stall-timeout DUR] [-retries N] [-retry-backoff DUR]
 //	            [-chaos RATE] [-chaos-seed N] [-timeskip=false]
 //	            [-resume FILE] [-json FILE] [-progress]
@@ -18,6 +18,10 @@
 // numbers are attached where the paper states them.
 //
 //	-jobs     worker goroutines for the sweep grid (default GOMAXPROCS)
+//	-workers  execute cells in this many supervised worker subprocesses
+//	          (re-execs of this binary) instead of in-process goroutines;
+//	          results are bit-identical, but a runaway cell costs one
+//	          worker respawn instead of the whole process (0 = in-process)
 //	-seeds    seed replicas per (config, workload) cell, pooled into one
 //	          result (default 1: the calibrated profile seeds)
 //	-filter   regular expression selecting workloads (applied to the
@@ -121,6 +125,9 @@ func fatalf(format string, args ...interface{}) {
 }
 
 func main() {
+	// Must run before anything else: when this process was re-exec'd as a
+	// sweep cell worker (-workers), it serves cells and never returns.
+	specsched.MaybeWorker()
 	exp := flag.String("exp", "all", "experiments to run, comma-separated ("+strings.Join(specsched.Reports(), "|")+"|all)")
 	list := flag.Bool("list", false, "print the known experiment names, presets, and workloads, then exit")
 	measure := flag.Int64("measure", 60000, "measured µ-ops per cell")
@@ -129,6 +136,7 @@ func main() {
 	filter := flag.String("filter", "", "regexp selecting workloads (applied after -workloads)")
 	traceGlob := flag.String("trace", "", "glob of recorded µ-op traces to run the grid over")
 	jobs := flag.Int("jobs", 0, "sweep worker goroutines (default: GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "execute cells in this many supervised worker subprocesses (0 = in-process; bit-identical results)")
 	seeds := flag.Int("seeds", 1, "seed replicas per (config, workload) cell, pooled")
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
 	stallTimeout := flag.Duration("stall-timeout", 0, "kill cells whose simulated-cycle counter freezes this long (0 = disabled)")
@@ -200,6 +208,7 @@ func main() {
 		specsched.SweepWarmup(*warmup),
 		specsched.SweepMeasure(*measure),
 		specsched.SweepJobs(*jobs),
+		specsched.SweepWorkers(*workers),
 		specsched.SweepSeeds(*seeds),
 		specsched.SweepCellTimeout(*timeout),
 		specsched.SweepStallTimeout(*stallTimeout),

@@ -33,6 +33,9 @@ func fatal(err error) {
 }
 
 func main() {
+	// Must run before anything else: when this process was re-exec'd as a
+	// sweep cell worker, it serves cells and never returns.
+	specsched.MaybeWorker()
 	cfgName := flag.String("config", "SpecSched_4", "configuration preset")
 	workload := flag.String("workload", "xalancbmk", "workload name")
 	measure := flag.Int64("measure", 100000, "measured µ-ops")

@@ -4,6 +4,9 @@
 // fairness, dedupes identical cells across concurrent jobs through a
 // shared result cache, and persists per-job manifests and resume
 // checkpoints under -state so a killed daemon picks up where it stopped.
+// Jobs whose spec sets "workers" execute their cells in supervised
+// subprocess workers (re-execs of this binary), so a runaway simulation
+// costs one worker respawn instead of the daemon.
 //
 // Quickstart:
 //
@@ -12,6 +15,13 @@
 //	     -H 'X-Specsched-Client: alice' \
 //	     -d '{"configs":["Baseline_0"],"workloads":["gcc","mcf"]}'
 //	curl -sN localhost:8372/v1/sweeps/<id>/cells
+//
+// Shutdown: SIGTERM (or SIGINT) starts a graceful drain — /readyz flips
+// to 503 so load balancers stop routing, new submissions are rejected
+// with Retry-After, and running sweeps get -drain-timeout to finish.
+// Whatever is still running then parks: manifests and checkpoints stay on
+// disk, and the next daemon resumes the work instead of recomputing it.
+// A second signal skips the wait.
 //
 // See EXPERIMENTS.md ("Serving sweeps") for the full API.
 package main
@@ -28,10 +38,15 @@ import (
 	"syscall"
 	"time"
 
+	"specsched"
 	"specsched/internal/service"
 )
 
 func main() {
+	// Must run before anything else: when this process was re-exec'd as a
+	// sweep cell worker, it serves cells and never returns.
+	specsched.MaybeWorker()
+
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("specschedd: ")
 
@@ -41,6 +56,8 @@ func main() {
 	maxRunning := flag.Int("max-running", 2, "sweeps executed concurrently")
 	cacheEntries := flag.Int("cache-entries", 0, "shared cell-result cache size (0 = default)")
 	sweepJobs := flag.Int("sweep-jobs", 0, "cap each sweep's worker count (0 = honor specs)")
+	maxWorkers := flag.Int("max-workers", 0, "cap each job's subprocess worker count (0 = honor specs; negative = force in-process)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running sweeps before parking them")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: specschedd [flags]\n")
@@ -54,6 +71,7 @@ func main() {
 		MaxRunning:   *maxRunning,
 		CacheEntries: *cacheEntries,
 		SweepJobs:    *sweepJobs,
+		MaxWorkers:   *maxWorkers,
 		Logf:         log.Printf,
 	})
 	if err != nil {
@@ -69,14 +87,29 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("%s: shutting down", sig)
+		log.Printf("%s: draining (up to %s; signal again to skip)", sig, *drainTimeout)
 	case err := <-errc:
 		log.Fatal(err)
 	}
 
-	// Stop sweeps first — their manifests stay "running" so the next
-	// daemon resumes them from checkpoint — then drain HTTP briefly.
-	// Streamers are unblocked by the service shutdown itself.
+	// Graceful drain: stop admitting (429/503 + Retry-After, /readyz goes
+	// 503) and give running sweeps a bounded window to finish cleanly. A
+	// second signal — or the timeout — moves on to the hard phase.
+	svc.StartDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigc
+		log.Printf("second signal: parking running sweeps now")
+		cancelDrain()
+	}()
+	if err := svc.AwaitIdle(drainCtx); err != nil {
+		log.Printf("drain: %d sweep(s) still running; parking them for the next daemon", len(runningJobs(svc)))
+	}
+	cancelDrain()
+
+	// Stop sweeps — manifests of anything still running stay "running" so
+	// the next daemon resumes them from checkpoint — then drain HTTP
+	// briefly. Streamers are unblocked by the service shutdown itself.
 	svc.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
@@ -84,4 +117,16 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	srv.Close()
+	log.Printf("exit: drain complete")
+}
+
+// runningJobs counts jobs still executing (for the drain log line).
+func runningJobs(svc *service.Server) []*service.Job {
+	var out []*service.Job
+	for _, j := range svc.Jobs() {
+		if j.State() == service.JobRunning {
+			out = append(out, j)
+		}
+	}
+	return out
 }

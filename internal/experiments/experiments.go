@@ -21,6 +21,7 @@ import (
 	"specsched/internal/sim"
 	"specsched/internal/stats"
 	"specsched/internal/trace"
+	"specsched/internal/worker"
 )
 
 // Options controls simulation length and scope. The paper simulates 50M
@@ -41,6 +42,14 @@ type Options struct {
 	// Parallel bounds sweep worker goroutines (0 = GOMAXPROCS) — the
 	// CLI's -jobs.
 	Parallel int
+	// Workers, when positive, executes cells in that many supervised
+	// worker subprocesses (internal/worker) instead of in-process — the
+	// CLI's -workers. The host binary must install the worker hook
+	// (specsched.MaybeWorker) at the top of main. Results are
+	// bit-identical to in-process execution; a crashed worker costs one
+	// respawn and a transient cell retry. When Parallel is unset, pool
+	// concurrency follows the worker count.
+	Workers int
 	// Seeds is the number of seed replicas per (config, workload) cell
 	// (0/1 = the single calibrated profile seed). Replica counters are
 	// pooled into one Run per cell; see sim.DeriveSeed for the seed
@@ -103,7 +112,16 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	if o.Parallel <= 0 {
-		o.Parallel = runtime.GOMAXPROCS(0)
+		if o.Workers > 0 {
+			o.Parallel = o.Workers
+		} else {
+			o.Parallel = runtime.GOMAXPROCS(0)
+		}
+	}
+	if o.MaxAttempts == 0 && o.Workers > 0 {
+		// A crashed worker subprocess loses its in-flight cell as a
+		// transient failure; reassignment needs spare attempts to ride on.
+		o.MaxAttempts = 3
 	}
 	if o.Seeds <= 0 {
 		o.Seeds = 1
@@ -130,6 +148,10 @@ type Runner struct {
 	// abandoned accumulates goroutines the runner's pools abandoned to
 	// timeouts and stalls, across every grid it has run.
 	abandoned int
+	// workerRestarts and workerReassigned accumulate subprocess-worker
+	// supervision outcomes (zero unless opts.Workers > 0).
+	workerRestarts   int
+	workerReassigned int
 }
 
 // Abandoned returns how many goroutines this runner's sweeps have
@@ -138,6 +160,16 @@ func (r *Runner) Abandoned() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.abandoned
+}
+
+// WorkerStats returns how many worker subprocesses this runner's sweeps
+// have respawned after crashes, and how many cell attempts those crashes
+// cost (each reassigned through the transient-retry machinery). Both are
+// zero unless Options.Workers is in effect.
+func (r *Runner) WorkerStats() (restarts, reassigned int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.workerRestarts, r.workerReassigned
 }
 
 // CheckpointSalvage reports what LoadCheckpoint had to salvage from a
@@ -236,12 +268,33 @@ func (r *Runner) runGrid(ctx context.Context, cfgs []config.CoreConfig) (map[str
 		Checkpoint:      cp,
 		OnProgress:      r.opts.OnProgress,
 	}
-	results := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
-		return sim.SimulateCell(ctx, c, r.opts.Warmup, r.opts.Measure, r.traces)
-	})
+	local := sim.LocalRunner{Warmup: r.opts.Warmup, Measure: r.opts.Measure, Traces: r.traces}
+	runner := sim.CellRunner(local)
+	var wp *worker.Pool
+	if r.opts.Workers > 0 {
+		var err error
+		wp, err = worker.NewPool(worker.Options{
+			Workers:  r.opts.Workers,
+			Warmup:   r.opts.Warmup,
+			Measure:  r.opts.Measure,
+			Traces:   r.traces,
+			Fallback: local,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runner = wp
+	}
+	results := pool.RunWith(ctx, cells, runner)
 	defer func() {
 		r.mu.Lock()
 		r.abandoned += pool.Abandoned()
+		if wp != nil {
+			wp.Close()
+			st := wp.Stats()
+			r.workerRestarts += int(st.Restarts)
+			r.workerReassigned += int(st.Reassigned)
+		}
 		r.mu.Unlock()
 	}()
 

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"specsched"
+)
+
+// longSpec is a 1-cell grid whose measurement window is effectively
+// unbounded: the job holds its run slot until canceled, which lets the
+// drain tests pin the daemon in a "one running, one queued" state
+// deterministically instead of sleeping and hoping.
+func longSpec() specsched.SweepSpec {
+	w, m := int64(0), int64(1)<<40
+	return specsched.SweepSpec{
+		Configs:   []string{"Baseline_0"},
+		Workloads: []string{"gzip"},
+		Warmup:    &w,
+		Measure:   &m,
+	}
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", j.ID, j.State(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceDrain walks the whole graceful-degradation sequence: a drain
+// rejects new submissions, flips readiness, never starts queued jobs,
+// AwaitIdle honors its deadline while a sweep still runs and returns once
+// the daemon is idle — and the queued job is still queued (parked for the
+// next daemon), not silently started or failed.
+func TestServiceDrain(t *testing.T) {
+	s, err := New(Config{MaxRunning: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	running, err := s.Submit("a", longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, JobRunning)
+	queued, err := s.Submit("a", longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.State() != JobQueued {
+		t.Fatalf("second job is %s, want queued behind MaxRunning=1", queued.State())
+	}
+
+	if !s.Ready() {
+		t.Fatal("daemon not ready before drain")
+	}
+	s.StartDrain()
+	s.StartDrain() // idempotent
+	if s.Ready() {
+		t.Fatal("daemon still ready after StartDrain")
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after StartDrain")
+	}
+	if _, err := s.Submit("a", testSpec()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submission during drain: %v, want ErrDraining", err)
+	}
+
+	// The running sweep holds the daemon busy: AwaitIdle must time out,
+	// not return early.
+	short, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.AwaitIdle(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AwaitIdle with a running sweep: %v, want deadline exceeded", err)
+	}
+
+	// Finish the running job; the drain must then report idle WITHOUT
+	// starting the queued job.
+	s.Cancel(running)
+	waitState(t, running, JobCanceled)
+	idleCtx, cancelIdle := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelIdle()
+	if err := s.AwaitIdle(idleCtx); err != nil {
+		t.Fatalf("AwaitIdle after the running sweep finished: %v", err)
+	}
+	if st := queued.State(); st != JobQueued {
+		t.Fatalf("queued job transitioned to %s during drain; it must stay parked", st)
+	}
+}
+
+// TestServiceDrainHTTP pins the wire form of shutdown and load shedding:
+// /readyz 503 + Retry-After during drain (200 before), submissions 503
+// with the "draining" kind, queue-full 429 with Retry-After and the
+// client's queue depth in the body, and the specschedd_ready gauge.
+func TestServiceDrainHTTP(t *testing.T) {
+	s, err := New(Config{MaxRunning: 1, MaxQueue: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+	submit := func(client string) (*http.Response, apiError) {
+		t.Helper()
+		spec, _ := json.Marshal(longSpec())
+		req, err := http.NewRequest("POST", ts.URL+"/v1/sweeps", strings.NewReader(string(spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ClientHeader, client)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ae apiError
+		json.NewDecoder(resp.Body).Decode(&ae)
+		return resp, ae
+	}
+
+	if resp, body := get("/readyz"); resp.StatusCode != http.StatusOK || body != "ready\n" {
+		t.Fatalf("readyz before drain: %d %q", resp.StatusCode, body)
+	}
+
+	// Fill the daemon: one running (holds its slot), one queued (fills the
+	// 1-deep queue). The next submission must shed with a 429 that tells
+	// the client how deep it already is.
+	if resp, _ := submit("alice"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	var running *Job
+	for _, j := range s.Jobs() {
+		running = j
+	}
+	waitState(t, running, JobRunning)
+	if resp, _ := submit("alice"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+	resp, ae := submit("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != retryAfterQueueFull {
+		t.Fatalf("queue-full Retry-After = %q, want %q", resp.Header.Get("Retry-After"), retryAfterQueueFull)
+	}
+	if ae.Kind != "queue_full" || ae.QueueDepth == nil || *ae.QueueDepth != 1 {
+		t.Fatalf("queue-full body = %+v, want kind queue_full and queue_depth 1", ae)
+	}
+
+	s.StartDrain()
+	resp, body := get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("readyz during drain: %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != retryAfterDraining {
+		t.Fatalf("readyz Retry-After = %q, want %q", resp.Header.Get("Retry-After"), retryAfterDraining)
+	}
+	resp, ae = submit("alice")
+	if resp.StatusCode != http.StatusServiceUnavailable || ae.Kind != "draining" {
+		t.Fatalf("submit during drain: %d kind=%q, want 503/draining", resp.StatusCode, ae.Kind)
+	}
+	if resp.Header.Get("Retry-After") != retryAfterDraining {
+		t.Fatalf("drain submit Retry-After = %q, want %q", resp.Header.Get("Retry-After"), retryAfterDraining)
+	}
+	// Liveness stays green through the drain — that split is the point.
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz during drain: %d %q", resp.StatusCode, body)
+	}
+	if _, body := get("/metrics"); !strings.Contains(body, "specschedd_ready 0") {
+		t.Fatal("metrics during drain do not report specschedd_ready 0")
+	}
+
+	s.Cancel(running)
+	waitState(t, running, JobCanceled)
+}

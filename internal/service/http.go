@@ -28,7 +28,9 @@ const maxSpecBytes = 1 << 20
 //	                                  with Accept: text/event-stream);
 //	                                  resumable via ?after=N / Last-Event-ID
 //	GET    /v1/sweeps/{id}/report/{name}  render a named report (done jobs)
-//	GET    /healthz                   liveness
+//	GET    /healthz                   liveness (200 as long as the process serves)
+//	GET    /readyz                    readiness: 503 while draining, so load
+//	                                  balancers stop routing before shutdown
 //	GET    /metrics                   Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -39,15 +41,27 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/cells", s.handleCells)
 	mux.HandleFunc("GET /v1/sweeps/{id}/report/{name}", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
+
+// Retry-After values for shed load: queue-full is transient (jobs finish
+// on the order of seconds to minutes), draining means "find another
+// instance" — a restart takes at least this long.
+const (
+	retryAfterQueueFull = "10"
+	retryAfterDraining  = "30"
+)
 
 // apiError is the uniform error body: a message plus a machine-matchable
 // kind derived from the façade's sentinel taxonomy.
 type apiError struct {
 	Error string `json:"error"`
 	Kind  string `json:"kind,omitempty"`
+	// QueueDepth reports the submitting client's queued-job count on
+	// queue-full rejections, so clients can back off proportionally.
+	QueueDepth *int `json:"queue_depth,omitempty"`
 }
 
 func errKind(err error) string {
@@ -62,6 +76,8 @@ func errKind(err error) string {
 		return "canceled"
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrDraining):
+		return "draining"
 	case errors.Is(err, ErrClosed):
 		return "shutting_down"
 	}
@@ -102,14 +118,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	client := r.Header.Get(ClientHeader)
 	j, err := s.Submit(client, spec)
 	if err != nil {
-		code := http.StatusBadRequest
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			code = http.StatusTooManyRequests
+			depth := s.QueueDepth(client)
+			w.Header().Set("Retry-After", retryAfterQueueFull)
+			writeJSON(w, http.StatusTooManyRequests,
+				apiError{Error: err.Error(), Kind: errKind(err), QueueDepth: &depth})
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retryAfterDraining)
+			writeErr(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrClosed):
-			code = http.StatusServiceUnavailable
+			writeErr(w, http.StatusServiceUnavailable, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
 		}
-		writeErr(w, code, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/sweeps/"+j.ID)
@@ -258,14 +280,29 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(out))
 }
 
+// handleHealthz is pure liveness: 200 as long as the process can serve a
+// request at all. Readiness (routing decisions) lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("ok\n"))
 }
 
+// handleReadyz is readiness: 503 once a drain (or Close) has begun, so
+// load balancers pull the instance before shutdown instead of racing it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.Header().Set("Retry-After", retryAfterDraining)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	g := gauges{queued: s.queued, running: s.running}
+	g := gauges{queued: s.queued, running: s.running, ready: !s.draining && !s.closed}
 	s.mu.Unlock()
 	g.cache = s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

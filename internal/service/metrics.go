@@ -22,6 +22,9 @@ type metrics struct {
 	cellsCheckpoint atomic.Int64 // served from a job's resume checkpoint
 	cellRetries     atomic.Int64 // extra attempts beyond each cell's first
 	abandoned       atomic.Int64 // goroutines abandoned to timeouts/stalls
+
+	workerRestarts  atomic.Int64 // subprocess workers respawned after a crash
+	cellsReassigned atomic.Int64 // cell attempts lost to worker deaths, retried elsewhere
 }
 
 // onProgress folds one finished-cell progress event into the counters.
@@ -50,11 +53,14 @@ func (m *metrics) onJobFinish(state JobState, fr specsched.FailureReport) {
 		m.jobsCanceled.Add(1)
 	}
 	m.abandoned.Add(int64(fr.Abandoned))
+	m.workerRestarts.Add(int64(fr.WorkerRestarts))
+	m.cellsReassigned.Add(int64(fr.WorkerReassigned))
 }
 
 // gauges are the point-in-time values render needs from the server.
 type gauges struct {
 	queued, running int
+	ready           bool
 	cache           specsched.CellCacheStats
 }
 
@@ -81,4 +87,11 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	gauge("specschedd_cache_entries", "Cell results currently retained in the shared cache.", int64(g.cache.Entries))
 	counter("specschedd_cell_retries_total", "Extra per-cell attempts spent on transient-failure retries.", m.cellRetries.Load())
 	counter("specschedd_cells_abandoned_total", "Goroutines abandoned to timed-out or stalled cells.", m.abandoned.Load())
+	counter("specschedd_worker_restarts_total", "Subprocess cell workers respawned after a crash.", m.workerRestarts.Load())
+	counter("specschedd_cells_reassigned_total", "Cell attempts lost to worker deaths and reassigned via retry.", m.cellsReassigned.Load())
+	ready := int64(0)
+	if g.ready {
+		ready = 1
+	}
+	gauge("specschedd_ready", "Whether the daemon admits new jobs (0 while draining).", ready)
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"specsched"
 )
@@ -33,6 +34,10 @@ var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrClosed rejects submissions after Close.
 var ErrClosed = errors.New("service: server is shutting down")
+
+// ErrDraining rejects submissions after StartDrain: the daemon is shutting
+// down gracefully and admits no new work (running sweeps finish or park).
+var ErrDraining = errors.New("service: daemon is draining")
 
 // errShutdown is the cancellation cause used for daemon shutdown, so
 // runJob can tell it apart from a client's cancel request.
@@ -56,6 +61,13 @@ type Config struct {
 	// or for the default (0 = GOMAXPROCS) — is clamped to it, so one
 	// greedy job cannot monopolize the machine. 0 leaves specs alone.
 	SweepJobs int
+	// MaxWorkers caps each job's subprocess worker count (the spec's
+	// "workers" field): a spec asking for more is clamped. Results are
+	// bit-identical at any clamp — worker placement never affects cell
+	// outcomes — so clamping is a resource decision, not a semantic one.
+	// 0 leaves specs alone; negative forces every job in-process
+	// (workers = 0) regardless of what its spec asks.
+	MaxWorkers int
 	// Logf receives operational log lines. Nil selects log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -73,15 +85,16 @@ type Server struct {
 	wg       sync.WaitGroup
 	wake     chan struct{}
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	queues  map[string][]*Job // per-client FIFO of queued jobs
-	ring    []string          // round-robin order of clients ever enqueued
-	rr      int               // next ring slot to serve
-	queued  int
-	running int
-	seq     uint64
-	closed  bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queues   map[string][]*Job // per-client FIFO of queued jobs
+	ring     []string          // round-robin order of clients ever enqueued
+	rr       int               // next ring slot to serve
+	queued   int
+	running  int
+	seq      uint64
+	closed   bool
+	draining bool
 }
 
 // New builds a server, recovers any persisted jobs from cfg.StateDir
@@ -148,6 +161,10 @@ func (s *Server) Submit(client string, spec specsched.SweepSpec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
 	if s.queued >= s.cfg.MaxQueue {
 		s.mu.Unlock()
 		return nil, ErrQueueFull
@@ -211,6 +228,70 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// StartDrain begins graceful shutdown: submissions are rejected with
+// ErrDraining (503 + Retry-After on the wire), /readyz flips to 503 so
+// load balancers stop routing, and the dispatcher starts no further jobs —
+// queued jobs keep their manifests and re-enqueue on the next daemon.
+// Running sweeps are untouched; pair with AwaitIdle to let them finish,
+// then Close to park whatever remains (checkpoints make parked jobs
+// resumable). Idempotent.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.logf("drain: admitting no new jobs; waiting for running sweeps")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Ready reports whether the daemon should receive traffic: constructed,
+// not draining, not closed. The /readyz endpoint is its wire form.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.closed
+}
+
+// AwaitIdle blocks until no job is running (queued jobs do not count —
+// during a drain they will never start) or ctx expires, returning the
+// context error in the latter case.
+func (s *Server) AwaitIdle(ctx context.Context) error {
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for {
+		s.mu.Lock()
+		idle := s.running == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// QueueDepth returns how many jobs the given client currently has queued
+// (the 429 error body reports it so clients can back off proportionally).
+func (s *Server) QueueDepth(client string) int {
+	if client == "" {
+		client = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[client])
+}
+
 // kick nudges the dispatcher without blocking.
 func (s *Server) kick() {
 	select {
@@ -225,7 +306,7 @@ func (s *Server) dispatch() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for s.running < s.cfg.MaxRunning {
+		for s.running < s.cfg.MaxRunning && !s.draining {
 			j := s.nextLocked()
 			if j == nil {
 				break
@@ -327,6 +408,12 @@ func (s *Server) runJob(j *Job) {
 	spec.Checkpoint = s.checkpointPath(j.ID) // daemon-owned; client paths are ignored
 	if s.cfg.SweepJobs > 0 && (spec.Jobs <= 0 || spec.Jobs > s.cfg.SweepJobs) {
 		spec.Jobs = s.cfg.SweepJobs
+	}
+	switch {
+	case s.cfg.MaxWorkers < 0:
+		spec.Workers = 0 // per-job isolation disabled daemon-wide
+	case s.cfg.MaxWorkers > 0 && spec.Workers > s.cfg.MaxWorkers:
+		spec.Workers = s.cfg.MaxWorkers
 	}
 	sweep, err := specsched.NewSweepFromSpec(spec,
 		specsched.SweepCellCache(s.cache),

@@ -196,3 +196,113 @@ func TestDedupKeyIdentity(t *testing.T) {
 		t.Fatal("trace-backed workload shares a key with the synthetic profile")
 	}
 }
+
+// TestDedupCacheOwnerDeathManyWaiters models a flight owner dying
+// mid-execution — e.g. its job canceled, or its worker subprocess crashed
+// past the retry budget — with a crowd of waiters parked on the flight.
+// Exactly one waiter must re-execute the cell; the rest share its flight
+// or hit the LRU; nobody inherits the dead owner's error; and the counters
+// must account for every call without leaking.
+func TestDedupCacheOwnerDeathManyWaiters(t *testing.T) {
+	d := NewDedupCache(8)
+	ctx := context.Background()
+
+	ownerIn := make(chan struct{})
+	ownerDie := make(chan struct{})
+	ownerErr := errors.New("owner died mid-execution")
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		_, src, err := d.Do(ctx, "k", func() (*stats.Run, error) {
+			close(ownerIn)
+			<-ownerDie
+			return nil, ownerErr
+		})
+		if src != DedupExecuted || !errors.Is(err, ownerErr) {
+			t.Errorf("owner: src=%v err=%v, want its own execution error", src, err)
+		}
+	}()
+	<-ownerIn
+
+	// The re-executing waiter also blocks, so its siblings demonstrably
+	// park on the *second* flight (DedupShared) rather than racing it.
+	want := &stats.Run{Cycles: 1234}
+	retryIn := make(chan struct{})
+	retryGo := make(chan struct{})
+	var reexecs atomic.Int64
+	retryFn := func() (*stats.Run, error) {
+		if reexecs.Add(1) == 1 {
+			close(retryIn)
+		}
+		<-retryGo
+		return want, nil
+	}
+
+	const waiters = 8
+	srcs := make([]DedupSource, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run, src, err := d.Do(ctx, "k", retryFn)
+			if err != nil {
+				t.Errorf("waiter %d inherited an error: %v", i, err)
+			}
+			if run != want {
+				t.Errorf("waiter %d got run %+v, want the re-executed result", i, run)
+			}
+			srcs[i] = src
+		}(i)
+	}
+
+	// Let the waiters park on the owner's flight, then kill the owner.
+	time.Sleep(10 * time.Millisecond)
+	close(ownerDie)
+	<-ownerDone
+	// One waiter wins the retry flight; release it once it is inside.
+	<-retryIn
+	time.Sleep(10 * time.Millisecond)
+	close(retryGo)
+	wg.Wait()
+
+	if n := reexecs.Load(); n != 1 {
+		t.Fatalf("%d waiters re-executed, want exactly 1", n)
+	}
+	executed, shared, hits := 0, 0, 0
+	for _, src := range srcs {
+		switch src {
+		case DedupExecuted:
+			executed++
+		case DedupShared:
+			shared++
+		case DedupHit:
+			hits++
+		}
+	}
+	if executed != 1 {
+		t.Fatalf("%d waiters report DedupExecuted, want 1", executed)
+	}
+	if shared+hits != waiters-1 {
+		t.Fatalf("shared=%d hits=%d, want them to cover the other %d waiters", shared, hits, waiters-1)
+	}
+
+	// Counter accounting: every Do call is visible exactly once, the dead
+	// owner's included; the failed flight left no cache entry behind —
+	// only the re-executed success is retained.
+	st := d.Stats()
+	if st.Executed != 2 {
+		t.Fatalf("Stats().Executed = %d, want 2 (owner + one retrying waiter)", st.Executed)
+	}
+	if st.Shared != int64(shared) || st.Hits != int64(hits) {
+		t.Fatalf("Stats() counted shared=%d hits=%d, callers observed shared=%d hits=%d",
+			st.Shared, st.Hits, shared, hits)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("Stats().Entries = %d, want 1 (the retried success only)", st.Entries)
+	}
+	// And the flight table is actually empty: a fresh call is a pure hit.
+	if _, src, err := d.Do(ctx, "k", nil); err != nil || src != DedupHit {
+		t.Fatalf("follow-up call: src=%v err=%v, want an LRU hit", src, err)
+	}
+}

@@ -179,6 +179,16 @@ func (p *Pool) Abandoned() int { return int(p.abandonTotal.Load()) }
 // cancel keep their results — with a Checkpoint configured they are
 // already recorded, so a canceled sweep is resumable.
 func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, Cell) (*stats.Run, error)) []Result {
+	return p.RunWith(ctx, cells, RunnerFunc(fn))
+}
+
+// RunWith is Run with an explicit CellRunner — the seam subprocess and
+// remote cell execution plug into (see CellRunner). The runner's RunCell
+// is invoked from the pool's isolated attempt goroutines with the 1-based
+// attempt number; everything else (retry policy, watchdog, dedup,
+// checkpointing, deterministic result order) is identical to Run. The
+// pool does not Close the runner.
+func (p *Pool) RunWith(ctx context.Context, cells []Cell, runner CellRunner) []Result {
 	results := make([]Result, len(cells))
 	done := make([]bool, len(cells))
 	prog := Progress{Total: len(cells)}
@@ -261,7 +271,7 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 				if !ok {
 					return
 				}
-				results[idx] = p.runCellDeduped(ctx, cells[idx], fn)
+				results[idx] = p.runCellDeduped(ctx, cells[idx], runner)
 				finished <- idx
 			}
 		}(w)
@@ -306,18 +316,18 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, fn func(context.Context, C
 // execution; a waiter whose flight owner failed re-runs the cell itself
 // (its own retry budget, its own chaos plan) instead of inheriting a
 // foreign error.
-func (p *Pool) runCellDeduped(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error)) Result {
+func (p *Pool) runCellDeduped(ctx context.Context, cell Cell, runner CellRunner) Result {
 	if p.Dedup == nil || p.DedupKey == nil {
-		return p.runCellRetrying(ctx, cell, fn)
+		return p.runCellRetrying(ctx, cell, runner)
 	}
 	key := p.DedupKey(cell)
 	if key == "" {
-		return p.runCellRetrying(ctx, cell, fn)
+		return p.runCellRetrying(ctx, cell, runner)
 	}
 	start := time.Now()
 	var owned Result
 	run, src, err := p.Dedup.Do(ctx, key, func() (*stats.Run, error) {
-		owned = p.runCellRetrying(ctx, cell, fn)
+		owned = p.runCellRetrying(ctx, cell, runner)
 		return owned.Run, owned.Err
 	})
 	if src == DedupExecuted {
@@ -373,10 +383,10 @@ func (p *Pool) abandonBudget() int {
 // until one succeeds, fails permanently, exhausts MaxAttempts, trips the
 // abandon budget, or the sweep context is canceled. Elapsed accumulates
 // across attempts; Attempts records how many ran.
-func (p *Pool) runCellRetrying(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error)) Result {
+func (p *Pool) runCellRetrying(ctx context.Context, cell Cell, runner CellRunner) Result {
 	var elapsed float64
 	for attempt := 1; ; attempt++ {
-		res := p.runCell(ctx, cell, fn, attempt)
+		res := p.runCell(ctx, cell, runner, attempt)
 		elapsed += res.Elapsed
 		res.Elapsed, res.Attempts = elapsed, attempt
 		if res.Err == nil || ctx.Err() != nil || attempt >= p.maxAttempts() || !Transient(res.Err) {
@@ -405,7 +415,7 @@ func abandoning(err error) bool {
 
 // runCell executes one attempt of one cell in a child goroutine so that
 // panics, timeouts, and stalls are contained to the attempt.
-func (p *Pool) runCell(ctx context.Context, cell Cell, fn func(context.Context, Cell) (*stats.Run, error), attempt int) Result {
+func (p *Pool) runCell(ctx context.Context, cell Cell, runner CellRunner, attempt int) Result {
 	start := time.Now()
 
 	// The attempt context: cancelable when a timeout or watchdog is armed
@@ -450,7 +460,7 @@ func (p *Pool) runCell(ctx context.Context, cell Cell, fn func(context.Context, 
 				return
 			}
 		}
-		run, err := fn(cctx, cell)
+		run, err := runner.RunCell(cctx, cell, attempt)
 		if err != nil {
 			err = fmt.Errorf("cell %s: %w", cell, err)
 		}

@@ -1,0 +1,157 @@
+// Package worker executes sweep cells in supervised subprocesses. It has
+// two halves joined by a wire protocol:
+//
+//   - the worker side (Serve/MaybeServe): a re-exec'd copy of the host
+//     binary that reads cell requests from stdin, simulates them with
+//     exactly the in-process code path (sim.SimulateCell), and writes
+//     results — plus liveness heartbeats carrying the simulated-cycle
+//     counter — to stdout;
+//   - the supervisor side (Pool): a sim.CellRunner that owns a bounded
+//     fleet of worker processes, dispatches one cell per request, watches
+//     heartbeats, detects crashes (process exit, protocol EOF, missed
+//     heartbeats), respawns workers under capped exponential backoff with
+//     a per-slot restart budget, and surfaces every crash as a transient
+//     cell failure so the sim pool's retry machinery reassigns the cell.
+//
+// Determinism: a cell's result is a pure function of the cell spec
+// (configuration, workload identity, seed index, window) — the wire
+// carries exactly that, every counter is an int64 so the JSON round trip
+// is exact, and trace workloads are content-addressed (the worker verifies
+// the trace file digest before replaying). Results are therefore
+// bit-identical to in-process execution, which the differential tests
+// assert.
+package worker
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"specsched/internal/config"
+	"specsched/internal/stats"
+)
+
+// ProtocolVersion is the wire version both sides must agree on; the
+// worker's hello frame carries it and the supervisor rejects mismatches.
+const ProtocolVersion = 1
+
+// EnvWorker is the environment marker that turns a process into a cell
+// worker: when set, MaybeServe serves the protocol on stdin/stdout and
+// exits instead of returning to the host's main. The supervisor sets it on
+// every process it spawns.
+const EnvWorker = "SPECSCHED_CELL_WORKER"
+
+// EnvChaos optionally arms deterministic crash injection in the worker
+// ("seed=N,exit=RATE"): before simulating, the worker draws a
+// faultinject decision for (cell, attempt) and hard-exits the process on a
+// hit — the reproducible stand-in for an OOM kill or stack overflow that
+// the crash-recovery tests and CI chaos steps use. Workers inherit it from
+// the supervisor's environment.
+const EnvChaos = "SPECSCHED_WORKER_CHAOS"
+
+// workerExitChaos is the exit code of an injected crash (diagnosable in
+// supervisor logs as "injected", unlike a real fault's code).
+const workerExitChaos = 7
+
+// maxFrameBytes bounds one frame. Cell specs and results are a few KB;
+// anything bigger is protocol corruption, not data.
+const maxFrameBytes = 1 << 20
+
+// cellSpec is the wire form of one cell request: everything that
+// determines the cell's result, and nothing else. ConfigDigest double-
+// checks the configuration after decoding (a wire-mangled config must
+// fail loudly, never silently diverge); TraceDigest content-addresses a
+// trace-backed workload so the worker verifies it replays the exact
+// recording the supervisor swept.
+type cellSpec struct {
+	Config       config.CoreConfig `json:"config"`
+	ConfigDigest uint64            `json:"config_digest"`
+	Workload     string            `json:"workload"`
+	SeedIdx      int               `json:"seed_idx"`
+	Warmup       int64             `json:"warmup"`
+	Measure      int64             `json:"measure"`
+	Attempt      int               `json:"attempt"`
+	TracePath    string            `json:"trace_path,omitempty"`
+	TraceDigest  uint64            `json:"trace_digest,omitempty"`
+	// BeatEveryMS is the worker's heartbeat emission period while this
+	// cell runs (0 selects the worker default).
+	BeatEveryMS int `json:"beat_every_ms,omitempty"`
+}
+
+// Frame kinds. Supervisor→worker: run, cancel. Worker→supervisor: hello
+// (once, at startup), beat (periodically during a run), result (once per
+// run request).
+const (
+	frameHello  = "hello"
+	frameRun    = "run"
+	frameCancel = "cancel"
+	frameBeat   = "beat"
+	frameResult = "result"
+)
+
+// Result error kinds that must survive the wire with their retry
+// classification intact.
+const (
+	kindBadTrace = "bad_trace" // permanent: matches sim.ErrBadTrace on arrival
+	kindCanceled = "canceled"  // the supervisor asked; mapped to the context cause
+)
+
+// frame is the single wire message shape, direction-tagged by Type.
+type frame struct {
+	Type string `json:"type"`
+	ID   uint64 `json:"id,omitempty"`
+	// hello
+	Version int `json:"version,omitempty"`
+	PID     int `json:"pid,omitempty"`
+	// run
+	Cell *cellSpec `json:"cell,omitempty"`
+	// beat: the worker's simulated-cycle heartbeat for the running cell.
+	Cycle int64 `json:"cycle,omitempty"`
+	// result
+	Run   *stats.Run `json:"run,omitempty"`
+	Error string     `json:"error,omitempty"`
+	Kind  string     `json:"kind,omitempty"`
+}
+
+// writeFrame emits one length-prefixed JSON frame. Callers serialize
+// writes themselves (both sides write from more than one goroutine).
+func writeFrame(w io.Writer, f *frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("worker: marshal %s frame: %w", f.Type, err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame. io.EOF at a frame
+// boundary is returned as-is (orderly shutdown); everything else wraps a
+// description of what broke.
+func readFrame(r io.Reader, f *frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("worker: frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("worker: frame of %d bytes exceeds the %d-byte bound", n, maxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("worker: frame body: %w", err)
+	}
+	*f = frame{}
+	if err := json.Unmarshal(body, f); err != nil {
+		return fmt.Errorf("worker: frame decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specsched/internal/faultinject"
+	"specsched/internal/sim"
+	"specsched/internal/stats"
+)
+
+// MaybeServe turns the process into a cell worker when the EnvWorker
+// marker is set: it serves the protocol on stdin/stdout until the
+// supervisor closes stdin, then exits the process. Host binaries that
+// want subprocess sweep workers call it at the top of main (the public
+// facade re-exports it as specsched.MaybeWorker); without the marker it
+// returns immediately and main proceeds normally.
+func MaybeServe() {
+	if os.Getenv(EnvWorker) == "" {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "specsched-worker[%d]: %v\n", os.Getpid(), err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// defaultBeatEvery is the heartbeat emission period when the run request
+// does not specify one.
+const defaultBeatEvery = 250 * time.Millisecond
+
+// Serve runs the worker side of the protocol: hello, then a loop of run
+// requests — one cell at a time, simulated with exactly the in-process
+// code path — interleaved with cancel requests for the running cell.
+// Heartbeat frames carrying the simulated-cycle counter flow while a cell
+// runs. Serve returns nil when the supervisor closes its end.
+func Serve(r io.Reader, w io.Writer) error {
+	s := &workerServer{r: r, w: w, chaos: chaosFromEnv()}
+	if err := s.send(&frame{Type: frameHello, Version: ProtocolVersion, PID: os.Getpid()}); err != nil {
+		return err
+	}
+	// While a cell runs the protocol reader lives in a goroutine (cancel
+	// frames must interrupt the simulation); the frame it was blocked on
+	// when the cell finished — normally the next run request — is handed
+	// back here as pending.
+	var pending *frame
+	for {
+		var f frame
+		if pending != nil {
+			f, pending = *pending, nil
+		} else {
+			switch err := readFrame(r, &f); {
+			case err == io.EOF:
+				return nil
+			case err != nil:
+				return err
+			}
+		}
+		switch f.Type {
+		case frameRun:
+			if f.Cell == nil {
+				return fmt.Errorf("worker: run frame %d without a cell", f.ID)
+			}
+			next, err := s.runCell(f.ID, f.Cell)
+			switch {
+			case err == io.EOF:
+				return nil
+			case err != nil:
+				return err
+			}
+			pending = next
+		case frameCancel:
+			// Stale cancel for a cell whose result already went out.
+		default:
+			return fmt.Errorf("worker: unexpected %q frame from supervisor", f.Type)
+		}
+	}
+}
+
+// workerServer is one worker process's state: the write lock (results,
+// beats, and hello interleave), the cancel hook of the running cell, and
+// a cache of loaded traces (a sweep re-requests the same trace for every
+// cell of that workload; decompress once).
+type workerServer struct {
+	r io.Reader
+	w io.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	cmu       sync.Mutex
+	runningID uint64
+	cancel    context.CancelCauseFunc
+
+	traces map[string]sim.TraceRef
+	chaos  *faultinject.Plan
+}
+
+func (s *workerServer) send(f *frame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.w, f)
+}
+
+// errCanceledBySupervisor is the cancel-frame cause; it reports on the
+// wire as the "canceled" kind, which the supervisor swaps for its own
+// context cause.
+var errCanceledBySupervisor = errors.New("worker: canceled by supervisor")
+
+// runCell executes one cell request and sends its result frame. It owns
+// the protocol reader for the duration (forwarding cancel frames into the
+// running simulation) and returns the first non-cancel frame that arrived
+// after — the next run request — for Serve's loop to dispatch, or the
+// reader's error (io.EOF for orderly shutdown).
+func (s *workerServer) runCell(id uint64, spec *cellSpec) (*frame, error) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s.cmu.Lock()
+	s.runningID, s.cancel = id, cancel
+	s.cmu.Unlock()
+
+	type readOutcome struct {
+		frame *frame
+		err   error
+	}
+	readerDone := make(chan readOutcome, 1)
+	go func() {
+		for {
+			var f frame
+			if err := readFrame(s.r, &f); err != nil {
+				readerDone <- readOutcome{err: err}
+				return
+			}
+			if f.Type == frameCancel {
+				s.cancelRunning(f.ID)
+				continue
+			}
+			readerDone <- readOutcome{frame: &f}
+			return
+		}
+	}()
+
+	// Heartbeats: the core publishes its cycle counter into hb at its
+	// cancellation poll; a ticker forwards it as beat frames. The value
+	// freezing while beats keep flowing is exactly how the sim pool's
+	// stall watchdog distinguishes "hung" from "slow" — and the beats
+	// themselves are the supervisor's process-liveness signal.
+	hb := new(atomic.Int64)
+	hb.Store(-1)
+	beatEvery := defaultBeatEvery
+	if spec.BeatEveryMS > 0 {
+		beatEvery = time.Duration(spec.BeatEveryMS) * time.Millisecond
+	}
+	beatStop := make(chan struct{})
+	var beatWG sync.WaitGroup
+	beatWG.Add(1)
+	go func() {
+		defer beatWG.Done()
+		tk := time.NewTicker(beatEvery)
+		defer tk.Stop()
+		for {
+			select {
+			case <-beatStop:
+				return
+			case <-tk.C:
+				s.send(&frame{Type: frameBeat, ID: id, Cycle: hb.Load()})
+			}
+		}
+	}()
+
+	run, err := s.simulate(sim.WithHeartbeat(ctx, hb), spec)
+
+	close(beatStop)
+	beatWG.Wait()
+	s.cmu.Lock()
+	s.runningID, s.cancel = 0, nil
+	s.cmu.Unlock()
+	cancel(nil)
+
+	res := &frame{Type: frameResult, ID: id, Run: run}
+	if err != nil {
+		res.Run, res.Error, res.Kind = nil, err.Error(), errKind(ctx, err)
+	}
+	if err := s.send(res); err != nil {
+		// stdout gone: the supervisor died or killed us mid-result.
+		return nil, fmt.Errorf("worker: send result: %w", err)
+	}
+
+	out := <-readerDone
+	return out.frame, out.err
+}
+
+// cancelRunning cancels the running cell if its ID matches (a stale cancel
+// for an already-finished cell is a no-op).
+func (s *workerServer) cancelRunning(id uint64) {
+	s.cmu.Lock()
+	cancel := s.cancel
+	match := s.runningID == id
+	s.cmu.Unlock()
+	if match && cancel != nil {
+		cancel(errCanceledBySupervisor)
+	}
+}
+
+// simulate runs one cell spec through sim.SimulateCell — the identical
+// code path the in-process runner uses, which is the whole determinism
+// argument. Trace workloads are loaded once per path and verified against
+// the supervisor's content digest.
+func (s *workerServer) simulate(ctx context.Context, spec *cellSpec) (*stats.Run, error) {
+	if d := spec.Config.Digest(); d != spec.ConfigDigest {
+		return nil, fmt.Errorf("worker: config %q digest mismatch after decode (%016x on the wire, %016x decoded)",
+			spec.Config.Name, spec.ConfigDigest, d)
+	}
+	if s.chaos != nil && s.chaos.Cell(cellKey(spec), spec.Attempt) == faultinject.Panic {
+		fmt.Fprintf(os.Stderr, "specsched-worker[%d]: injected crash (%s/%s#%d attempt %d)\n",
+			os.Getpid(), spec.Config.Name, spec.Workload, spec.SeedIdx, spec.Attempt)
+		os.Exit(workerExitChaos)
+	}
+	var traces sim.TraceSet
+	if spec.TracePath != "" {
+		ref, err := s.loadTrace(spec.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		if ref.Header.Digest != spec.TraceDigest {
+			return nil, fmt.Errorf("%w: %s: content digest %016x does not match the swept trace %016x (file changed under the sweep?)",
+				sim.ErrBadTrace, spec.TracePath, ref.Header.Digest, spec.TraceDigest)
+		}
+		traces = sim.TraceSet{spec.Workload: ref}
+	}
+	cell := sim.Cell{Config: spec.Config, Workload: spec.Workload, SeedIdx: spec.SeedIdx}
+	return sim.SimulateCell(ctx, cell, spec.Warmup, spec.Measure, traces)
+}
+
+func (s *workerServer) loadTrace(path string) (sim.TraceRef, error) {
+	if ref, ok := s.traces[path]; ok {
+		return ref, nil
+	}
+	ref, err := sim.LoadTrace(path)
+	if err != nil {
+		return sim.TraceRef{}, err
+	}
+	if s.traces == nil {
+		s.traces = make(map[string]sim.TraceRef)
+	}
+	s.traces[path] = ref
+	return ref, nil
+}
+
+// cellKey mirrors sim.Cell.Key for chaos draws, so an injected worker
+// crash hits the same (cell, attempt) coordinates a sim-pool chaos plan
+// with the same seed would.
+func cellKey(spec *cellSpec) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", spec.Config.Name, spec.Workload, spec.SeedIdx)
+}
+
+// errKind classifies a cell error for the wire so retry classification
+// survives process boundaries: bad traces stay permanent, supervisor
+// cancels map back to the supervisor's cause, everything else rides as a
+// plain (permanent) message.
+func errKind(ctx context.Context, err error) string {
+	switch {
+	case errors.Is(err, sim.ErrBadTrace):
+		return kindBadTrace
+	case errors.Is(err, errCanceledBySupervisor) || ctx.Err() != nil:
+		return kindCanceled
+	}
+	return ""
+}
+
+// chaosFromEnv parses EnvChaos ("seed=N,exit=RATE") into a fault plan
+// whose Panic kind means "hard-exit the worker process". Unset or
+// malformed values disable injection (chaos is a test harness; a typo
+// must not fail production cells).
+func chaosFromEnv() *faultinject.Plan {
+	v := os.Getenv(EnvChaos)
+	if v == "" {
+		return nil
+	}
+	plan := &faultinject.Plan{}
+	for _, kv := range strings.Split(v, ",") {
+		k, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil
+			}
+			plan.Seed = n
+		case "exit":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r < 0 || r > 1 {
+				return nil
+			}
+			plan.PanicRate = r
+		case "maxfaults":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil
+			}
+			plan.MaxFaultsPerCell = n
+		default:
+			return nil
+		}
+	}
+	if !plan.Enabled() {
+		return nil
+	}
+	return plan
+}

@@ -73,6 +73,11 @@ type SweepSpec struct {
 	Seeds int `json:"seeds,omitempty"`
 	// Jobs bounds the worker goroutines (0 = GOMAXPROCS).
 	Jobs int `json:"jobs,omitempty"`
+	// Workers executes cells in that many supervised worker subprocesses
+	// instead of in-process goroutines (0 = in-process; see SweepWorkers).
+	// Results are bit-identical either way. The host binary must call
+	// MaybeWorker at the top of main.
+	Workers int `json:"workers,omitempty"`
 	// Warmup and Measure are the per-cell simulation windows in µ-ops
 	// (nil = DefaultWarmup / DefaultMeasure; an explicit 0 warmup is
 	// honored, an explicit non-positive measure is invalid).
@@ -145,6 +150,9 @@ func (s SweepSpec) validate() error {
 	if s.Jobs < 0 {
 		return wrapErrf(ErrInvalidConfig, "specsched: negative job count %d", s.Jobs)
 	}
+	if s.Workers < 0 {
+		return wrapErrf(ErrInvalidConfig, "specsched: negative worker count %d", s.Workers)
+	}
 	if s.Retries < 0 {
 		return wrapErrf(ErrInvalidConfig, "specsched: negative retry budget %d", s.Retries)
 	}
@@ -202,6 +210,7 @@ func NewSweepFromSpec(spec SweepSpec, opts ...SweepOption) (*Sweep, error) {
 		SweepWorkloads(spec.Workloads...),
 		SweepSeeds(max(spec.Seeds, 1)),
 		SweepJobs(spec.Jobs),
+		SweepWorkers(spec.Workers),
 		SweepScheduler(spec.Scheduler),
 		SweepCheckpoint(spec.Checkpoint),
 		SweepCellTimeout(time.Duration(spec.CellTimeout)),
@@ -244,6 +253,7 @@ func (s *Sweep) Spec() SweepSpec {
 		Traces:          append([]string(nil), s.traces...),
 		Seeds:           max(s.seeds, 1),
 		Jobs:            s.jobs,
+		Workers:         s.workers,
 		Warmup:          &warmup,
 		Measure:         &measure,
 		Scheduler:       s.scheduler,

@@ -14,7 +14,7 @@ import (
 	"specsched/internal/experiments"
 	"specsched/internal/faultinject"
 	"specsched/internal/sim"
-	"specsched/internal/stats"
+	"specsched/internal/worker"
 	"specsched/results"
 )
 
@@ -100,6 +100,7 @@ type Sweep struct {
 	traces          []string
 	seeds           int
 	jobs            int
+	workers         int
 	warmup          int64
 	measure         int64
 	scheduler       Scheduler
@@ -123,6 +124,9 @@ type Sweep struct {
 	recovered int // cells that failed at least once but ultimately succeeded
 	abandoned int // goroutines abandoned to timeouts/stalls by raw-grid pools
 	salvage   string
+
+	workerRestarts   int // worker processes respawned after a crash
+	workerReassigned int // cell attempts lost to a worker death and retried elsewhere
 }
 
 // SweepOption configures a Sweep.
@@ -159,6 +163,28 @@ func SweepSeeds(n int) SweepOption { return func(s *Sweep) { s.seeds = n } }
 
 // SweepJobs bounds the worker goroutines (default: GOMAXPROCS).
 func SweepJobs(n int) SweepOption { return func(s *Sweep) { s.jobs = n } }
+
+// defaultWorkerRetries is the per-cell attempt budget a sweep with
+// subprocess workers gets when the caller set none: worker crashes are
+// transient failures by design, and reassigning the lost cell needs at
+// least one spare attempt.
+const defaultWorkerRetries = 3
+
+// SweepWorkers executes cells in n supervised worker subprocesses instead
+// of in-process goroutines (default 0 = in-process). Each worker is a
+// re-exec of the current binary — which must call MaybeWorker at the top
+// of main — running one cell per request over a stdin/stdout protocol.
+// Results are bit-identical to in-process execution: a cell's outcome is a
+// pure function of its (configuration, workload, seed, window) spec, so
+// placement cannot matter. A crashed worker (OOM kill, runaway simulation,
+// stack overflow) costs one respawn and one transient cell retry rather
+// than the whole process; workers that crash repeatedly are retired and,
+// when every slot is gone, cells fall back to in-process execution so the
+// sweep still completes. FailureReport counts the restarts and
+// reassignments. Unless SweepJobs says otherwise, the pool concurrency
+// follows the worker count; unless SweepRetries says otherwise, the
+// per-cell attempt budget defaults to 3 so reassignment has room to work.
+func SweepWorkers(n int) SweepOption { return func(s *Sweep) { s.workers = n } }
 
 // SweepWarmup sets the per-cell warmup window in µ-ops.
 func SweepWarmup(uops int64) SweepOption { return func(s *Sweep) { s.warmup = uops } }
@@ -392,11 +418,25 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 		}
 		cp.SetChaos(plan)
 	}
+	jobs := s.jobs
+	if jobs == 0 && s.workers > 0 {
+		// One pool goroutine per worker process: more would just queue on
+		// the worker slots and burn their cell timeouts waiting.
+		jobs = s.workers
+	}
+	attempts := s.retries
+	if attempts == 0 && s.workers > 0 {
+		// Worker subprocesses make transient cell failures an expected
+		// operational event — a crashed worker loses its in-flight cell —
+		// so reassignment needs a retry budget to ride on. An explicit
+		// SweepRetries still wins.
+		attempts = defaultWorkerRetries
+	}
 	pool := &sim.Pool{
-		Jobs:            s.jobs,
+		Jobs:            jobs,
 		CellTimeout:     s.cellTimeout,
 		StallTimeout:    s.stallTimeout,
-		MaxAttempts:     s.retries,
+		MaxAttempts:     attempts,
 		RetryBackoff:    s.retryBackoff,
 		MaxRetryBackoff: s.maxRetryBackoff,
 		AbandonBudget:   s.abandonBudget,
@@ -411,9 +451,33 @@ func (s *Sweep) runPool(ctx context.Context, cells []sim.Cell, traces sim.TraceS
 		}
 	}
 	pool.OnProgress = s.poolProgress()
-	res := pool.Run(ctx, cells, func(ctx context.Context, c sim.Cell) (*stats.Run, error) {
-		return sim.SimulateCell(ctx, c, s.warmup, s.measure, traces)
-	})
+
+	local := sim.LocalRunner{Warmup: s.warmup, Measure: s.measure, Traces: traces}
+	runner := sim.CellRunner(local)
+	var wp *worker.Pool
+	if s.workers > 0 {
+		var err error
+		wp, err = worker.NewPool(worker.Options{
+			Workers:  s.workers,
+			Warmup:   s.warmup,
+			Measure:  s.measure,
+			Traces:   traces,
+			Fallback: local,
+		})
+		if err != nil {
+			return nil, wrapErr(ErrInvalidConfig, err)
+		}
+		runner = wp
+	}
+	res := pool.RunWith(ctx, cells, runner)
+	if wp != nil {
+		wp.Close()
+		st := wp.Stats()
+		s.mu.Lock()
+		s.workerRestarts += int(st.Restarts)
+		s.workerReassigned += int(st.Reassigned)
+		s.mu.Unlock()
+	}
 
 	var executed int64
 	var failures int
@@ -533,6 +597,13 @@ type FailureReport struct {
 	// CheckpointSalvage describes what had to be salvaged from a damaged
 	// resume checkpoint ("" when the load was clean).
 	CheckpointSalvage string
+	// WorkerRestarts counts worker subprocesses respawned after a crash
+	// (0 unless SweepWorkers is in effect).
+	WorkerRestarts int
+	// WorkerReassigned counts cell attempts lost to a worker death; each
+	// was reassigned to another worker through the transient-retry
+	// machinery.
+	WorkerReassigned int
 }
 
 // FailureReport returns the sweep's aggregate resilience outcomes so far.
@@ -553,6 +624,8 @@ func (s *Sweep) FailureReport() FailureReport {
 		Retries:           s.retried,
 		Abandoned:         s.abandoned,
 		CheckpointSalvage: s.salvage,
+		WorkerRestarts:    s.workerRestarts,
+		WorkerReassigned:  s.workerReassigned,
 	}
 	for _, f := range s.failures {
 		fr.Failed = append(fr.Failed, f)
@@ -561,6 +634,9 @@ func (s *Sweep) FailureReport() FailureReport {
 	s.mu.Unlock()
 	if r != nil {
 		fr.Abandoned += r.Abandoned()
+		restarts, reassigned := r.WorkerStats()
+		fr.WorkerRestarts += restarts
+		fr.WorkerReassigned += reassigned
 		if fr.CheckpointSalvage == "" {
 			fr.CheckpointSalvage = r.CheckpointSalvage()
 		}
@@ -722,6 +798,7 @@ func (s *Sweep) reportRunner() (*experiments.Runner, error) {
 		Workloads:       wls,
 		Traces:          refs,
 		Parallel:        s.jobs,
+		Workers:         s.workers,
 		Seeds:           s.seeds,
 		Scheduler:       impl,
 		CellTimeout:     s.cellTimeout,
