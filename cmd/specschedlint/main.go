@@ -1,0 +1,71 @@
+// Command specschedlint runs the repo's analyzer suite (internal/lint):
+// mechanical enforcement of the determinism, hot-path-allocation,
+// API-boundary, error-taxonomy, and cancellation-poll invariants.
+//
+// Two modes share one binary:
+//
+//	specschedlint ./...          # standalone: re-execs `go vet -vettool=<self> ./...`
+//	go vet -vettool=$(which specschedlint) ./...
+//
+// In vet mode (recognized by -V=full, -flags, or a *.cfg argument) it
+// speaks the vet tool protocol; see internal/lint/unitchecker. The
+// rule catalog and the `//lint:allow <analyzer>(reason)` /
+// `//specsched:hotpath` / `//specsched:determinism` annotation syntax
+// are documented in DESIGN.md §13.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"specsched/internal/lint"
+	"specsched/internal/lint/unitchecker"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetMode(args) {
+		os.Exit(unitchecker.Main(args, lint.Analyzers()))
+	}
+	if len(args) == 1 && (args[0] == "-list" || args[0] == "help") {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	os.Exit(standalone(args))
+}
+
+func vetMode(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	return strings.HasPrefix(args[0], "-V") || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg")
+}
+
+// standalone re-executes the binary through `go vet`, which feeds each
+// compilation unit back to it in vet mode — the exact pipeline CI runs,
+// so local and CI findings can never disagree.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	return 0
+}

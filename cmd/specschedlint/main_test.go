@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSuiteRunsCleanOverModule is the dogfooding gate: the shipped
+// analyzer suite must produce zero findings over this module itself.
+// Every waiver in the tree is an explicit //lint:allow with a reason,
+// so a failure here means a new invariant violation landed.
+func TestSuiteRunsCleanOverModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool over the whole module")
+	}
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(self)))
+
+	exe := filepath.Join(t.TempDir(), "specschedlint")
+	build := exec.Command("go", "build", "-o", exe, "specsched/cmd/specschedlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building specschedlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("specschedlint found violations in the module:\n%s", out)
+	}
+}

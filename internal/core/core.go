@@ -336,9 +336,13 @@ func (c *Core) delay() int64 { return int64(c.cfg.IssueToExecuteDelay) }
 
 // Step advances the simulation by one cycle. Pipeline phases run in
 // reverse order so each stage consumes the previous cycle's products.
+// Zero steady-state allocations (TestSteadyStateZeroAllocs) — enforced
+// statically by specschedlint on top of the runtime guard.
+//
+//specsched:hotpath
 func (c *Core) Step() {
 	if len(c.graveyard) > 0 {
-		c.pool = append(c.pool, c.graveyard...)
+		c.pool = append(c.pool, c.graveyard...) //lint:allow hotpathalloc(recycle into the pool the µ-ops came from: both slices are sized to RobSize at construction and their lengths are complementary)
 		c.graveyard = c.graveyard[:0]
 	}
 	c.commit()
@@ -422,6 +426,10 @@ const cancelPollCycles = 4096
 // skipQuiescent) and then executes the cycle where something can actually
 // happen — per-cycle semantics inside Step are untouched, so
 // single-stepping tests and the scan path see the exact same machine.
+// The alloc_test.go stepTo guard pins this loop at zero steady-state
+// allocations.
+//
+//specsched:hotpath
 func (c *Core) stepTo(ctx context.Context, targetCommitted int64) error {
 	skip := c.sched != nil && c.cfg.TimeSkip
 	cancelable := ctx.Done() != nil
@@ -457,6 +465,7 @@ func (c *Core) stepTo(ctx context.Context, targetCommitted int64) error {
 			// never get here; a too-short recorded trace does.
 			return ErrStreamEnded
 		} else if c.cycle-c.lastProgress > 500000 {
+			//lint:allow hotpathalloc(cold watchdog path: formatting happens once, immediately before the panic kills the run)
 			panic(fmt.Sprintf("core: no commit for 500000 cycles (cycle %d, committed %d, rob %d, iq %d, buffer %d, head %s)",
 				c.cycle, c.committed, len(c.rob), c.iqCount, len(c.recovery), c.describeHead()))
 		}

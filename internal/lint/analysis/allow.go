@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The `//lint:allow` escape hatch. Every suppression must name the
+// analyzer it silences and carry a non-empty reason — the reason is the
+// reviewable paper trail for why an invariant is waived at that line:
+//
+//	c.pool = append(c.pool, c.graveyard...) //lint:allow hotpathalloc(pool and graveyard share one pre-sized backing)
+//
+// A directive suppresses the named analyzer's diagnostics on its own
+// line and on the line directly below it (so it can ride at the end of
+// the offending line or stand alone above a multi-line statement). A
+// directive without a parenthesized reason does not suppress
+// anything and is itself reported (by the pseudo-check named
+// "lintallow"), so a bare `//lint:allow nodeterm` cannot silently waive
+// a rule.
+const allowCheckName = "lintallow"
+
+const allowPrefix = "//lint:allow"
+
+// allowRe matches the well-formed directive body: an identifier, then a
+// non-empty reason in parentheses. Anything after the closing paren is
+// tolerated (trailing prose).
+var allowRe = regexp.MustCompile(`^([A-Za-z_][A-Za-z0-9_]*)\(([^)]+)\)`)
+
+type allowKey struct {
+	file string
+	line int
+}
+
+type allowIndex struct {
+	// byLine maps file:line to the analyzer names allowed there (a line
+	// may carry several directives in one comment group).
+	byLine    map[allowKey][]string
+	malformed []Diagnostic
+}
+
+// indexAllows scans every comment in the package's files once and
+// builds the suppression index plus the malformed-directive report.
+func indexAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{byLine: make(map[allowKey][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(allowPrefix):])
+				m := allowRe.FindStringSubmatch(rest)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos: c.Pos(),
+						Message: "malformed //lint:allow directive: want //lint:allow <analyzer>(<reason>) " +
+							"with a non-empty reason; this directive suppresses nothing",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := allowKey{file: pos.Filename, line: pos.Line}
+				idx.byLine[k] = append(idx.byLine[k], m[1])
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether an allow for analyzer name covers pos:
+// a directive on the same line, or on the line immediately above.
+func (idx allowIndex) suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, allowed := range idx.byLine[allowKey{file: p.Filename, line: line}] {
+			if allowed == name {
+				return true
+			}
+		}
+	}
+	return false
+}

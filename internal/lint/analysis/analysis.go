@@ -1,0 +1,156 @@
+// Package analysis is the repo-local core of the specschedlint analyzer
+// suite: a deliberately small, API-shape-compatible subset of
+// golang.org/x/tools/go/analysis. The module carries no third-party
+// dependencies (go.mod has an empty require block, and the build must
+// work in network-less containers where the x/tools module cannot be
+// fetched), so the suite supplies the three pieces it actually needs —
+// the Analyzer/Pass/Diagnostic contract, the `//lint:allow` suppression
+// directive, and a `go vet -vettool` protocol driver (see
+// internal/lint/unitchecker) — in ~500 lines of std-library-only code.
+// Analyzers written against this package use the same field names and
+// run signature as x/tools analyzers, so lifting them onto the real
+// framework later is a mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer (the subset without facts and
+// result dependencies, which no specschedlint check needs: every rule
+// here is decidable from a single type-checked package).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name>(reason)` suppression directives.
+	// It must be a valid identifier.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Run applies the analyzer to a package. It returns an
+	// analyzer-specific result (unused by this driver, kept for API
+	// compatibility) or an error.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and the sink for its diagnostics. Field names match
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits a diagnostic. The driver installs it; analyzers
+	// normally use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one reported problem at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate rejects an analyzer list that the drivers cannot serve:
+// missing names or run functions, or duplicate names (which would make
+// `//lint:allow` directives ambiguous).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// RunAnalyzers runs every analyzer over one type-checked package,
+// applies `//lint:allow` suppression, appends the diagnostics for
+// malformed allow directives, and returns the surviving diagnostics
+// sorted by position. This is the single execution path shared by the
+// unitchecker driver and the linttest fixture harness, so fixtures test
+// exactly what `go vet -vettool=specschedlint` enforces — including the
+// suppression semantics.
+//
+// The returned slice carries the diagnostics of all analyzers merged;
+// each message is suffixed with the originating analyzer name by the
+// callers that print them (the fixture harness matches the raw message).
+func RunAnalyzers(analyzers []*Analyzer, pass func(a *Analyzer) *Pass) ([]Named, error) {
+	if err := Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var (
+		all    []Named
+		allows allowIndex
+	)
+	for i, a := range analyzers {
+		p := pass(a)
+		if i == 0 {
+			allows = indexAllows(p.Fset, p.Files)
+			for _, d := range allows.malformed {
+				all = append(all, Named{Analyzer: allowCheckName, Diagnostic: d})
+			}
+		}
+		var diags []Diagnostic
+		p.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(p); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			if allows.suppressed(p.Fset, a.Name, d.Pos) {
+				continue
+			}
+			all = append(all, Named{Analyzer: a.Name, Diagnostic: d})
+		}
+	}
+	sortNamed(all)
+	return all, nil
+}
+
+// Named is a diagnostic tagged with the analyzer that produced it.
+type Named struct {
+	Analyzer string
+	Diagnostic
+}
+
+func sortNamed(ds []Named) {
+	// Insertion sort by Pos then message: diagnostic counts are tiny and
+	// this keeps the package free of even std sort's interface boxing.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func less(a, b Named) bool {
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
+}

@@ -1,0 +1,91 @@
+// Package boundary enforces the public-façade import rule from PR 4:
+// cmd/ and examples/ are the continuous proof that the root specsched
+// API is sufficient, so they may not import specsched/internal/…
+// packages. It replaces the grep gate that used to live in
+// .github/workflows/ci.yml — a real import-graph check cannot be fooled
+// by an aliased import, a renamed file, or a build-tagged variant, and
+// its one sanctioned exception is configuration instead of a grep -v:
+// cmd/specschedd is the thin main around internal/service, the daemon
+// engine that is deliberately not public API.
+package boundary
+
+import (
+	"strconv"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/lintutil"
+)
+
+// Config is the boundary rule as data.
+type Config struct {
+	// ScopePrefixes are the package-path subtrees that must stay on the
+	// public surface.
+	ScopePrefixes []string
+	// RestrictedPrefixes are the subtrees they may not import.
+	RestrictedPrefixes []string
+	// Exceptions maps an in-scope package path to the restricted
+	// packages it is sanctioned to import (exact paths, not prefixes).
+	Exceptions map[string][]string
+}
+
+// Default is the repo's rule. Tests may construct analyzers with other
+// configs via New.
+var Default = Config{
+	ScopePrefixes:      []string{"specsched/cmd", "specsched/examples"},
+	RestrictedPrefixes: []string{"specsched/internal"},
+	Exceptions: map[string][]string{
+		// The daemon main around the deliberately-internal service engine.
+		"specsched/cmd/specschedd": {"specsched/internal/service"},
+		// The lint driver around the deliberately-internal analyzer suite.
+		"specsched/cmd/specschedlint": {
+			"specsched/internal/lint",
+			"specsched/internal/lint/unitchecker",
+		},
+	},
+}
+
+// Analyzer applies Default.
+var Analyzer = New(Default)
+
+// New builds a boundary analyzer for a config.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "boundary",
+		Doc:  "cmd/ and examples/ must use the public specsched API only (no specsched/internal imports)",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			return run(pass, cfg)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) (interface{}, error) {
+	pkgPath := pass.Pkg.Path()
+	inScope := false
+	for _, p := range cfg.ScopePrefixes {
+		if lintutil.PathHasPrefix(pkgPath, p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	allowed := make(map[string]bool)
+	for _, p := range cfg.Exceptions[pkgPath] {
+		allowed[p] = true
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, r := range cfg.RestrictedPrefixes {
+				if lintutil.PathHasPrefix(path, r) && !allowed[path] {
+					pass.Reportf(imp.Pos(), "%s imports %s: cmd/ and examples/ must use the public specsched API only (sanctioned exceptions live in internal/lint/boundary.Default)", pkgPath, path)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

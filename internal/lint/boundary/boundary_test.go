@@ -1,0 +1,20 @@
+package boundary_test
+
+import (
+	"testing"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/boundary"
+	"specsched/internal/lint/linttest"
+)
+
+func TestBoundary(t *testing.T) {
+	linttest.Run(t, "testdata",
+		[]*analysis.Analyzer{boundary.Analyzer},
+		"specsched/cmd/badtool",
+		"specsched/cmd/specschedd",
+		"specsched/examples/badexample",
+		"specsched/examples/cleanexample",
+		"specsched", // the façade itself is out of scope
+	)
+}

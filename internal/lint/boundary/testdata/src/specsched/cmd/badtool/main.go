@@ -1,0 +1,12 @@
+// Fixture: a command reaching around the façade — the deliberately
+// seeded violation that must fail the build.
+package main
+
+import (
+	"specsched"
+	score "specsched/internal/core" // want `specsched/cmd/badtool imports specsched/internal/core`
+)
+
+func main() {
+	_ = specsched.Version() + score.Version()
+}

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned exception — cmd/specschedd may import
+// internal/service (and only it).
+package main
+
+import (
+	"specsched/internal/core" // want `specsched/cmd/specschedd imports specsched/internal/core`
+	"specsched/internal/service"
+)
+
+func main() {
+	_ = service.Serve()
+	_ = core.Version()
+}

@@ -1,0 +1,6 @@
+// Fixture: examples are held to the same rule as commands.
+package main
+
+import "specsched/internal/core" // want `specsched/examples/badexample imports specsched/internal/core`
+
+func main() { _ = core.Version() }

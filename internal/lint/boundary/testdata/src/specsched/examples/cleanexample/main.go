@@ -1,0 +1,6 @@
+// Fixture: the happy path — public surface only.
+package main
+
+import "specsched"
+
+func main() { _ = specsched.Version() }

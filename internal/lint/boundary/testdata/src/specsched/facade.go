@@ -1,0 +1,7 @@
+// Fixture stub of the public façade: the root package itself may (and
+// must) import internal packages — it is outside the boundary scope.
+package specsched
+
+import "specsched/internal/core"
+
+func Version() int { return core.Version() }

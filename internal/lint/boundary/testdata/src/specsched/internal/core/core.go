@@ -1,0 +1,4 @@
+// Fixture stub of an internal package.
+package core
+
+func Version() int { return 1 }

@@ -1,0 +1,4 @@
+// Fixture stub of the daemon engine package.
+package service
+
+func Serve() error { return nil }

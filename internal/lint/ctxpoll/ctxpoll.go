@@ -1,0 +1,153 @@
+// Package ctxpoll enforces the cancellation-responsiveness invariant
+// from PRs 4 and 6: simulation code in internal/core and internal/sim
+// that accepts a context must keep honoring it — core.RunContext polls
+// every 4096 simulated cycles and publishes the heartbeat the PR 6
+// stall watchdog reads, and every other potentially unbounded loop on
+// that path has to do one of the same things. A loop that spins without
+// a poll turns a canceled sweep into an abandoned goroutine and a
+// frozen heartbeat into a false stall.
+//
+// Scope: inside the packages listed in Packages, every `for` loop that
+// has no loop clause bounding it structurally — `for {}` and
+// `for cond {}` — lexically within a function (or method) whose
+// signature takes a context.Context. Three-clause `for i := …; …; i++`
+// loops and `range` loops are structurally bounded and exempt.
+//
+// A loop satisfies the rule if its body (at any nesting depth inside
+// the loop, but not inside a nested function literal) contains one of:
+//
+//   - a select with a `case <-ctx.Done():` arm
+//   - a receive from ctx.Done() outside a select
+//   - a call to ctx.Err()
+//
+// where ctx is any value of type context.Context. Loops that are
+// genuinely bounded by other means carry
+// `//lint:allow ctxpoll(reason)` with the bound as the reason.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/lintutil"
+)
+
+// Packages bound by the rule (prefix semantics).
+var Packages = []string{
+	"specsched/internal/core",
+	"specsched/internal/sim",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded loops in context-taking simulation functions must poll cancellation (select on ctx.Done, receive from it, or call ctx.Err)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	inScope := false
+	for _, p := range Packages {
+		if lintutil.PathHasPrefix(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !takesContext(pass, fd.Type) {
+				continue
+			}
+			checkLoops(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func takesContext(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A nested literal is its own schedulable unit (usually a
+			// goroutine); it is in scope only if it takes a ctx itself,
+			// which a literal cannot express positionally — leave its
+			// loops to the reviewer.
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if loop.Init != nil || loop.Post != nil {
+			return true // three-clause loop: structurally bounded
+		}
+		if !pollsContext(pass, loop.Body) {
+			pass.Reportf(loop.Pos(), "unbounded loop in a context-taking simulation function never polls cancellation; add a ctx.Err()/ctx.Done() poll (see core.stepTo's 4096-cycle pattern) or state the bound in a //lint:allow")
+		}
+		return true
+	})
+}
+
+// pollsContext reports whether the loop body contains a cancellation
+// poll, not descending into nested function literals.
+func pollsContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			// <-ctx.Done(), in a select case or bare.
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isCtxMethodCall(pass, call, "Done") {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isCtxMethodCall(pass, n, "Err") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCtxMethodCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}

@@ -1,0 +1,17 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/ctxpoll"
+	"specsched/internal/lint/linttest"
+)
+
+func TestCtxpoll(t *testing.T) {
+	linttest.Run(t, "testdata",
+		[]*analysis.Analyzer{ctxpoll.Analyzer},
+		"specsched/internal/core",
+		"specsched/internal/service",
+	)
+}

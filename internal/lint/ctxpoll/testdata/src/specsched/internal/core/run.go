@@ -1,0 +1,95 @@
+// Fixture: unbounded loops in context-taking simulation functions.
+package core
+
+import "context"
+
+type machine struct {
+	committed, target int64
+	queue             []int
+}
+
+func (m *machine) step() { m.committed++ }
+
+// runContext mirrors core.stepTo: cond-only loop, ctx.Err poll — clean.
+func (m *machine) runContext(ctx context.Context) error {
+	poll := 4096
+	for m.committed < m.target {
+		if poll--; poll <= 0 {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			poll = 4096
+		}
+		m.step()
+	}
+	return nil
+}
+
+// spin never polls: the seeded violation.
+func (m *machine) spin(ctx context.Context) {
+	for m.committed < m.target { // want `unbounded loop in a context-taking simulation function never polls cancellation`
+		m.step()
+	}
+}
+
+// wait polls through a select arm — clean.
+func wait(ctx context.Context, ch <-chan int) int {
+	for {
+		select {
+		case v := <-ch:
+			if v > 0 {
+				return v
+			}
+		case <-ctx.Done():
+			return -1
+		}
+	}
+}
+
+// drainBare receives from Done outside a select — clean.
+func drainBare(ctx context.Context) {
+	for {
+		<-ctx.Done()
+		return
+	}
+}
+
+// bounded three-clause loops and range loops are structurally bounded.
+func bounded(ctx context.Context, xs []int) int {
+	sum := 0
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i]
+	}
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// popAll is genuinely bounded by the queue length; the allow states it.
+func (m *machine) popAll(ctx context.Context) {
+	for len(m.queue) > 0 { //lint:allow ctxpoll(bounded: every iteration shrinks queue)
+		m.queue = m.queue[:len(m.queue)-1]
+	}
+}
+
+// noCtx takes no context: out of scope, whatever its loops do.
+func (m *machine) noCtx() {
+	for m.committed < m.target {
+		m.step()
+	}
+}
+
+// nestedLiteral: loops inside a func literal belong to the goroutine's
+// own review, not to the enclosing signature.
+func nestedLiteral(ctx context.Context, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			}
+		}
+	}()
+	<-ctx.Done()
+}

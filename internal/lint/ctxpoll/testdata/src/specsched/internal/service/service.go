@@ -1,0 +1,13 @@
+// Fixture: internal/service is outside the ctxpoll scope (its loops
+// block on channels and HTTP, not simulated cycles).
+package service
+
+import "context"
+
+func Serve(ctx context.Context, ch <-chan int) {
+	for {
+		if <-ch == 0 {
+			return
+		}
+	}
+}

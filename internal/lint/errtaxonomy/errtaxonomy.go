@@ -1,0 +1,108 @@
+// Package errtaxonomy enforces the PR 4 error-taxonomy contract on the
+// public façade: every error that crosses the specsched API boundary
+// must match one of the package's typed sentinels (ErrInvalidConfig,
+// ErrUnknownWorkload, ErrBadTrace, ErrCanceled, …) under errors.Is.
+// An error built with a bare errors.New, or with fmt.Errorf and no %w
+// verb, wraps nothing — callers get a string instead of a taxonomy.
+//
+// Scope: exported functions and methods of the root package (path
+// "specsched"), including function literals nested in them. Flagged:
+//
+//   - `return errors.New(…)` — a naked, unclassifiable error
+//   - any fmt.Errorf call whose format string lacks %w — it erases
+//     whatever sentinel or cause its arguments carried
+//
+// The check is syntactic and intraprocedural: the real matrix of
+// errors.Is matches is pinned by the façade's error-taxonomy tests;
+// this analyzer catches the lazy path at the diff. Construct errors
+// with wrapErr/wrapErrf (which attach a sentinel) or fmt.Errorf with
+// %w around one.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/lintutil"
+)
+
+// FacadePath is the package whose exported surface is bound by the
+// taxonomy.
+const FacadePath = "specsched"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "errors crossing the specsched façade must wrap a typed sentinel (no naked errors.New returns, no fmt.Errorf without %w)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() != FacadePath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isPkgCall(pass, call, "errors", "New") {
+					pass.Reportf(res.Pos(), "%s returns a naked errors.New error: it matches no specsched sentinel under errors.Is; wrap one (wrapErr/wrapErrf or fmt.Errorf with %%w)", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkErrorf(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkErrorf(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if !isPkgCall(pass, call, "fmt", "Errorf") || len(call.Args) == 0 {
+		return
+	}
+	format, ok := stringLit(call.Args[0])
+	if !ok {
+		// A non-constant format cannot be checked syntactically; the
+		// façade does not use one outside wrapErrf, which is exempt by
+		// being unexported.
+		return
+	}
+	if !strings.Contains(format, "%w") {
+		pass.Reportf(call.Pos(), "fmt.Errorf without %%w in exported %s erases the error taxonomy; wrap a sentinel or the cause", fd.Name.Name)
+	}
+}
+
+func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == name && lintutil.IsPkgFunc(fn, pkgPath)
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

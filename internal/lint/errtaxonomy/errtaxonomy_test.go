@@ -1,0 +1,17 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/errtaxonomy"
+	"specsched/internal/lint/linttest"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	linttest.Run(t, "testdata",
+		[]*analysis.Analyzer{errtaxonomy.Analyzer},
+		"specsched",
+		"specsched/internal/other",
+	)
+}

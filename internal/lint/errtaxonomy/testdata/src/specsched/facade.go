@@ -1,0 +1,50 @@
+// Fixture: the root façade package under the error-taxonomy rule.
+package specsched
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrInvalidConfig = errors.New("specsched: invalid configuration")
+
+// Run is exported: its errors cross the API boundary.
+func Run(name string) error {
+	if name == "" {
+		return errors.New("empty name") // want `Run returns a naked errors\.New error`
+	}
+	if name == "legacy" {
+		return fmt.Errorf("unknown preset %q", name) // want `fmt\.Errorf without %w in exported Run`
+	}
+	if name == "bad" {
+		return fmt.Errorf("preset %q: %w", name, ErrInvalidConfig)
+	}
+	cb := func() error {
+		return errors.New("from closure") // want `Run returns a naked errors\.New error`
+	}
+	return cb()
+}
+
+// Exported methods on exported types are in scope too.
+type Sweep struct{}
+
+func (s *Sweep) Validate() error {
+	return fmt.Errorf("no cells") // want `fmt\.Errorf without %w in exported Validate`
+}
+
+// unexported helpers may build errors freely — the exported callers
+// are responsible for classifying them before they escape.
+func wrapErrf(sentinel error, format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}
+
+func newCause(msg string) error { return errors.New(msg) }
+
+// The sentinel declarations themselves (package-level errors.New) are
+// the taxonomy, not a violation.
+var errInternal = errors.New("specsched: internal")
+
+// Allowed with a reason: a deliberate stringly error.
+func Describe(name string) error {
+	return fmt.Errorf("describe %s", name) //lint:allow errtaxonomy(human-readable description, never matched programmatically)
+}

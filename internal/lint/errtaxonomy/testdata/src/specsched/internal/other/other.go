@@ -1,0 +1,14 @@
+// Fixture: internal packages are not bound by the façade taxonomy.
+package other
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Fail(name string) error {
+	if name == "" {
+		return errors.New("empty name")
+	}
+	return fmt.Errorf("fail %s", name)
+}

@@ -1,0 +1,218 @@
+// Package hotpathalloc guards the zero-allocation steady-state
+// invariant (PR 1's event-scheduler speedup depends on it; the runtime
+// regression tests are internal/core/alloc_test.go and traceio's
+// TestDecoderSteadyStateZeroAllocs). Functions annotated with a
+// `//specsched:hotpath` doc-comment directive may not contain
+// allocation-causing constructs:
+//
+//   - calls into fmt (every verb formats onto a fresh heap buffer)
+//   - make, new, and func literals (closures capture onto the heap)
+//   - slice and map composite literals, and &T{…} (may escape; the
+//     analyzer cannot prove otherwise intraprocedurally)
+//   - append (growth beyond the backing array cannot be ruled out
+//     locally — pre-size and waive with an allow if the capacity
+//     invariant is real)
+//   - boxing a struct- or array-typed value into an interface
+//     (conversions and arguments to interface-typed parameters)
+//   - string↔[]byte conversions (always copy)
+//
+// The analysis is intraprocedural and syntactic by design: it cannot
+// replace the runtime AllocsPerRun guards, but it catches the
+// regression at the diff — in the PR that introduces the allocation —
+// instead of three layers away in a flaky differential test. Cold
+// paths inside hot functions (watchdog panics, malformed-input errors)
+// are waived with `//lint:allow hotpathalloc(reason)`, which doubles as
+// their documentation.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/lintutil"
+)
+
+// Directive marks a function whose body must not allocate in the
+// steady state.
+const Directive = "//specsched:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocation-causing constructs in //specsched:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !lintutil.FuncHasDirective(fd, Directive) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in hot path: closures capture onto the heap")
+			return false // its body runs behind the closure; one finding is enough
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				pass.Reportf(n.Pos(), "&composite literal in hot path may escape to the heap; reuse a pooled object")
+				checkCompositeElems(pass, cl)
+				return false
+			}
+		case *ast.CompositeLit:
+			checkComposite(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Builtins: make/new/append always (potentially) allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if b, ok := obj.(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					pass.Reportf(call.Pos(), "make in hot path allocates; size buffers at construction")
+				case "new":
+					pass.Reportf(call.Pos(), "new in hot path allocates; reuse a pooled object")
+				case "append":
+					pass.Reportf(call.Pos(), "append in hot path may grow the backing array; pre-size at construction and waive with the capacity invariant as the reason")
+				}
+				return
+			}
+		}
+	}
+
+	// Conversions: T(x) to an interface boxes; string↔[]byte copies.
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+
+	// fmt calls allocate unconditionally.
+	if fn := lintutil.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s call allocates on the hot path; move formatting to the cold path", fn.Name())
+		return
+	}
+
+	checkBoxedArgs(pass, call)
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+	argT := pass.TypesInfo.Types[call.Args[0]].Type
+	if argT == nil {
+		return
+	}
+	if types.IsInterface(target) && !types.IsInterface(argT) && boxedKind(argT) {
+		pass.Reportf(call.Pos(), "conversion boxes %s into an interface on the hot path", argT)
+		return
+	}
+	_, toString := target.Underlying().(*types.Basic)
+	if toString && target.Underlying().(*types.Basic).Kind() == types.String {
+		if isByteSlice(argT) {
+			pass.Reportf(call.Pos(), "[]byte→string conversion copies on the hot path")
+		}
+		return
+	}
+	if isByteSlice(target) {
+		if b, ok := argT.Underlying().(*types.Basic); ok && b.Kind() == types.String {
+			pass.Reportf(call.Pos(), "string→[]byte conversion copies on the hot path")
+		}
+	}
+}
+
+// checkBoxedArgs flags struct/array values passed where the callee
+// takes an interface (including …interface{} variadics).
+func checkBoxedArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			paramT = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		default:
+			continue
+		}
+		argT := pass.TypesInfo.Types[arg].Type
+		if argT == nil {
+			continue
+		}
+		if types.IsInterface(paramT) && !types.IsInterface(argT) && boxedKind(argT) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into an interface parameter on the hot path", argT)
+		}
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// boxedKind reports whether boxing a value of this concrete type into
+// an interface heap-allocates in a way the hot path must not: struct
+// and array values (the "hot structs" of the invariant — a µ-op or a
+// stats record silently boxed into an any). Pointers and small scalars
+// are left to the runtime guard.
+func boxedKind(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}
+
+func checkComposite(pass *analysis.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(cl.Pos(), "slice literal in hot path allocates its backing array")
+	case *types.Map:
+		pass.Reportf(cl.Pos(), "map literal in hot path allocates")
+	}
+}
+
+// checkCompositeElems keeps scanning inside an &T{…} literal whose
+// outer report already fired (nested slice/map literals still matter).
+func checkCompositeElems(pass *analysis.Pass, cl *ast.CompositeLit) {
+	for _, e := range cl.Elts {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CompositeLit); ok {
+				checkComposite(pass, inner)
+			}
+			return true
+		})
+	}
+}

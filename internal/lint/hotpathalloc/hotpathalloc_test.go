@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/hotpathalloc"
+	"specsched/internal/lint/linttest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	linttest.Run(t, "testdata",
+		[]*analysis.Analyzer{hotpathalloc.Analyzer},
+		"specsched/internal/hot",
+	)
+}

@@ -1,0 +1,74 @@
+// Fixture for hotpathalloc: only //specsched:hotpath functions are
+// checked, and every allocation-causing construct is flagged.
+package hot
+
+import "fmt"
+
+type UOp struct {
+	Seq  uint64
+	PC   uint64
+	Dest int
+}
+
+type core struct {
+	pool      []*UOp
+	graveyard []*UOp
+	scratch   []int
+	names     map[string]int
+}
+
+// Step is the steady-state loop body.
+//
+//specsched:hotpath
+func (c *core) Step(u UOp) {
+	c.pool = append(c.pool, c.graveyard...) // want `append in hot path may grow the backing array`
+	buf := make([]int, 8)                   // want `make in hot path allocates`
+	_ = buf
+	p := new(UOp) // want `new in hot path allocates`
+	_ = p
+	e := &UOp{Seq: u.Seq} // want `&composite literal in hot path may escape`
+	_ = e
+	s := []int{1, 2, 3} // want `slice literal in hot path allocates`
+	_ = s
+	m := map[string]int{} // want `map literal in hot path allocates`
+	_ = m
+	v := UOp{Seq: u.Seq} // a plain value literal stays on the stack
+	_ = v
+	fmt.Printf("cycle %d", u.Seq) // want `fmt\.Printf call allocates on the hot path`
+	f := func() {}                // want `func literal in hot path: closures capture onto the heap`
+	f()
+	sink(u)        // want `argument boxes specsched/internal/hot\.UOp into an interface parameter`
+	sinks("x", u)  // want `argument boxes specsched/internal/hot\.UOp into an interface parameter`
+	_ = any(u)     // want `conversion boxes specsched/internal/hot\.UOp into an interface`
+	_ = string(bs) // want `\[\]byte→string conversion copies`
+	_ = []byte(st) // want `string→\[\]byte conversion copies`
+	sink(&u)       // boxing a pointer is cheap enough for the runtime guard to own
+	sinkInt(u.Dest)
+}
+
+var (
+	bs []byte
+	st string
+)
+
+func sink(v interface{})                  {}
+func sinks(k string, vs ...interface{})   {}
+func sinkInt(n int)                       {}
+func escape(f func())                     {}
+func format(verb string, n uint64) string { return fmt.Sprintf(verb, n) }
+func coldHelper(c *core, us []UOp) []*UOp {
+	// Not annotated: allocation is legal outside the hot path.
+	out := make([]*UOp, 0, len(us))
+	for i := range us {
+		out = append(out, &us[i])
+	}
+	return out
+}
+
+// stepAllowed shows the waiver: the capacity invariant is stated as
+// the reason and the finding is suppressed.
+//
+//specsched:hotpath
+func (c *core) stepAllowed() {
+	c.pool = append(c.pool, c.graveyard...) //lint:allow hotpathalloc(pool and graveyard share one backing sized at construction)
+}

@@ -1,0 +1,26 @@
+// Package lint assembles the specschedlint analyzer suite: the
+// mechanical enforcement of the repo's determinism, hot-path,
+// API-boundary, error-taxonomy, and cancellation invariants. The
+// catalog of rules, the annotation syntax, and the recipe for adding an
+// analyzer live in DESIGN.md §13.
+package lint
+
+import (
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/boundary"
+	"specsched/internal/lint/ctxpoll"
+	"specsched/internal/lint/errtaxonomy"
+	"specsched/internal/lint/hotpathalloc"
+	"specsched/internal/lint/nodeterm"
+)
+
+// Analyzers is the full suite, in the order diagnostics are grouped.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		boundary.Analyzer,
+		ctxpoll.Analyzer,
+		errtaxonomy.Analyzer,
+		hotpathalloc.Analyzer,
+		nodeterm.Analyzer,
+	}
+}

@@ -1,0 +1,273 @@
+// Package linttest is the fixture harness for the specschedlint
+// analyzers: the repo-local equivalent of
+// golang.org/x/tools/go/analysis/analysistest, built on the std library
+// only. Fixtures live under the analyzer package in the analysistest
+// layout —
+//
+//	testdata/src/<import/path>/*.go
+//
+// — and state their expected diagnostics with `// want "regexp"`
+// comments on the offending line. Run loads the named packages (plus
+// any fixture packages they import), type-checks them, executes the
+// analyzers through the same analysis.RunAnalyzers path the vet driver
+// uses (so `//lint:allow` suppression behaves identically in fixtures
+// and in CI), and diffs the diagnostics against the want annotations.
+//
+// Imports resolve against the analyzer's own testdata/src first, then
+// against the shared stub standard library in
+// internal/lint/linttest/testdata/stdstub/src (tiny bodiless
+// declarations of time, math/rand, fmt, errors, context, …). Real
+// GOROOT sources are never type-checked: fixtures stay hermetic, fast,
+// and independent of the host toolchain's std library.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"specsched/internal/lint/analysis"
+)
+
+// Run loads each fixture package from dir (an analyzer package's
+// testdata directory) and checks the analyzers' diagnostics against the
+// package's `// want` annotations.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			ld := newLoader(dir)
+			pkg, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("loading fixture package %s: %v", path, err)
+			}
+			diags, err := analysis.RunAnalyzers(analyzers, func(a *analysis.Analyzer) *analysis.Pass {
+				return &analysis.Pass{
+					Analyzer:  a,
+					Fset:      ld.fset,
+					Files:     pkg.files,
+					Pkg:       pkg.pkg,
+					TypesInfo: pkg.info,
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWants(t, ld.fset, pkg.files, diags)
+		})
+	}
+}
+
+// checkWants matches diagnostics against `// want` annotations: every
+// diagnostic must match an unconsumed regexp on its own line, and every
+// regexp must be consumed.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Named) {
+	t.Helper()
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	wants := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := wantKey{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	keys := make([]wantKey, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "re1" "re2"`
+// annotation. The marker may start the comment or follow other text in
+// it (a line comment swallows the rest of its line, so an expectation
+// about a directive comment rides inside that same comment).
+// Returns ok=false for comments that are not want annotations.
+func parseWant(text string) ([]string, bool) {
+	i := strings.Index(text, "// want ")
+	if i < 0 {
+		return nil, false
+	}
+	body := text[i+len("// want "):]
+	var patterns []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			break
+		}
+		prefix, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			break
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			break
+		}
+		patterns = append(patterns, unq)
+		rest = strings.TrimSpace(rest[len(prefix):])
+	}
+	return patterns, true
+}
+
+// loader type-checks fixture packages, resolving imports against the
+// fixture tree first and the shared std stubs second.
+type loader struct {
+	fset  *token.FileSet
+	roots []string // testdata/src roots, in resolution order
+	pkgs  map[string]*loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(testdata string) *loader {
+	return &loader{
+		fset:  token.NewFileSet(),
+		roots: []string{filepath.Join(testdata, "src"), stubRoot()},
+		pkgs:  make(map[string]*loadedPkg),
+	}
+}
+
+// stubRoot locates the shared stub std library relative to this source
+// file (linttest is only ever compiled for tests inside this module).
+func stubRoot() string {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("linttest: cannot locate stub root")
+	}
+	return filepath.Join(filepath.Dir(self), "testdata", "stdstub", "src")
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+
+	var dir string
+	for _, root := range l.roots {
+		cand := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(cand); err == nil && st.IsDir() {
+			dir = cand
+			break
+		}
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("no fixture or stub package for import %q", path)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

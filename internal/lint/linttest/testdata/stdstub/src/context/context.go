@@ -1,0 +1,17 @@
+// Stub of std "context" for hermetic linttest fixtures. ctxpoll
+// recognizes cancellation polls by the methods of this interface, keyed
+// on the package path "context" — identical for the stub and the real
+// std library.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type CancelFunc func()
+
+func Background() Context
+func TODO() Context
+func WithCancel(parent Context) (Context, CancelFunc)
+func Cause(c Context) error

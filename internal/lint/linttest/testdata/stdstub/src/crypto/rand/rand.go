@@ -1,0 +1,6 @@
+// Stub of std "crypto/rand" for hermetic linttest fixtures. nodeterm
+// flags the import itself: hardware entropy has no place in a
+// determinism-critical package.
+package rand
+
+func Read(b []byte) (n int, err error)

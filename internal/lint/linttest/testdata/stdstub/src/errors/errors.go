@@ -1,0 +1,6 @@
+// Stub of std "errors" for hermetic linttest fixtures.
+package errors
+
+func New(text string) error
+func Is(err, target error) bool
+func Unwrap(err error) error

@@ -1,0 +1,18 @@
+// Stub of std "fmt" for hermetic linttest fixtures.
+package fmt
+
+type Stringer interface {
+	String() string
+}
+
+func Errorf(format string, a ...interface{}) error
+func Sprintf(format string, a ...interface{}) string
+func Sprint(a ...interface{}) string
+func Printf(format string, a ...interface{}) (n int, err error)
+func Println(a ...interface{}) (n int, err error)
+func Fprintf(w Writer, format string, a ...interface{}) (n int, err error)
+
+// Writer stands in for io.Writer so the stub tree needs no io package.
+type Writer interface {
+	Write(p []byte) (n int, err error)
+}

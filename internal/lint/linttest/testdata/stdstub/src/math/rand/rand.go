@@ -1,0 +1,29 @@
+// Stub of std "math/rand" for hermetic linttest fixtures.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+func NewSource(seed int64) Source
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand
+
+func (r *Rand) Int() int
+func (r *Rand) Intn(n int) int
+func (r *Rand) Int63() int64
+func (r *Rand) Float64() float64
+func (r *Rand) Perm(n int) []int
+func (r *Rand) Shuffle(n int, swap func(i, j int))
+
+// Global-state functions: exactly what nodeterm forbids.
+func Int() int
+func Intn(n int) int
+func Int63() int64
+func Float64() float64
+func Perm(n int) []int
+func Shuffle(n int, swap func(i, j int))
+func Seed(seed int64)

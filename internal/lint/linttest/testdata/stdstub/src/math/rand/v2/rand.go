@@ -1,0 +1,25 @@
+// Stub of std "math/rand/v2" for hermetic linttest fixtures.
+package rand
+
+type Source interface {
+	Uint64() uint64
+}
+
+func NewPCG(seed1, seed2 uint64) *PCG
+
+type PCG struct{ hi, lo uint64 }
+
+func (p *PCG) Uint64() uint64
+
+type Rand struct{ src Source }
+
+func New(src Source) *Rand
+
+func (r *Rand) IntN(n int) int
+func (r *Rand) Uint64() uint64
+
+// Global-state functions: exactly what nodeterm forbids.
+func Int() int
+func IntN(n int) int
+func Uint64() uint64
+func Float64() float64

@@ -1,0 +1,33 @@
+// Stub of std "time" for hermetic linttest fixtures: signatures only,
+// no bodies (go/types does not require them).
+package time
+
+type Time struct{ wall, ext uint64 }
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func Now() Time
+func Since(t Time) Duration
+func Until(t Time) Duration
+func Sleep(d Duration)
+func After(d Duration) <-chan Time
+func Tick(d Duration) <-chan Time
+
+func (t Time) UnixNano() int64
+func (t Time) Sub(u Time) Duration
+
+type Timer struct{ C <-chan Time }
+
+func NewTimer(d Duration) *Timer
+func AfterFunc(d Duration, f func()) *Timer
+
+type Ticker struct{ C <-chan Time }
+
+func NewTicker(d Duration) *Ticker

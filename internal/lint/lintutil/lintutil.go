@@ -1,0 +1,86 @@
+// Package lintutil holds the scope helpers shared by the specschedlint
+// analyzers: test-file exclusion, `//specsched:` directive detection,
+// and import-path prefix matching.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsTestFile reports whether the file was parsed from a _test.go file.
+// Every determinism/hot-path rule exempts tests: a test may legitimately
+// read the wall clock or allocate; the invariants bind the simulator.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// HasFileDirective reports whether any comment in the file is exactly
+// the given directive (e.g. "//specsched:determinism"), which opts the
+// whole file into an analyzer's scope.
+func HasFileDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if directiveText(c.Text) == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether the function's doc comment carries
+// the given directive line (e.g. "//specsched:hotpath").
+func FuncHasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if directiveText(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func directiveText(text string) string {
+	return strings.TrimRight(text, " \t")
+}
+
+// PathHasPrefix reports whether pkg path is prefix itself or lies under
+// it ("a/b" matches "a/b" and "a/b/c", never "a/bc"). An external test
+// package ("a/b_test") and a test-variant ID share the source package's
+// files, which IsTestFile already excludes, so plain prefix semantics
+// are enough here.
+func PathHasPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// CalleeFunc resolves the called package-level function or method of a
+// call expression, or nil if the callee is not a static *types.Func
+// (builtins, function values, type conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is a package-level function (not a
+// method) of the package with the given import path.
+func IsPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,178 @@
+// Package nodeterm forbids nondeterminism in the packages whose output
+// must be a pure function of (config, workload, seed): the paper's
+// replay schemes, the differential event-vs-scan tests, and the PR 7
+// DedupKey all assume a cell's result is bit-identical run to run.
+//
+// Scope: every non-test file of the packages listed in Packages, plus
+// any file carrying a `//specsched:determinism` directive (the
+// cell-execution files of internal/sim opt in this way — the rest of
+// that package legitimately reads the wall clock for retry backoff and
+// stall watchdogs).
+//
+// Rules:
+//   - no wall-clock reads: time.Now/Since/Until/Sleep/After/AfterFunc/
+//     Tick/NewTicker/NewTimer
+//   - no math/rand or math/rand/v2 package-level (global-state)
+//     functions; explicitly constructed, explicitly seeded generators
+//     (rand.New(rand.NewSource(seed)), internal/rng) are fine
+//   - no crypto/rand at all (the import is flagged)
+//   - no iteration over a map except the collect-keys-then-sort idiom
+//     (a body that only appends the key/value to a slice) or a pure
+//     delete loop: any other map-range order can leak into serialized
+//     output or accumulated statistics
+//
+// Waive a finding with `//lint:allow nodeterm(reason)` and a reason
+// that will survive review.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/lintutil"
+)
+
+// Packages are the import paths that are determinism-critical in their
+// entirety. Prefix semantics: subpackages are included.
+var Packages = []string{
+	"specsched/internal/core",
+	"specsched/internal/uop",
+	"specsched/internal/rng",
+	"specsched/internal/traceio",
+}
+
+// Directive opts an individual file into the determinism scope.
+const Directive = "//specsched:determinism"
+
+// wallClock are the "time" package functions that read or schedule off
+// the wall clock. Duration arithmetic and time.Time plumbing stay legal.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand and math/rand/v2 package-level
+// functions that build an explicitly seeded generator rather than
+// touching global state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock reads, global RNG state, and order-leaking map iteration in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f) || !inScope(pass.Pkg.Path(), f) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil, nil
+}
+
+func inScope(pkgPath string, f *ast.File) bool {
+	for _, p := range Packages {
+		if lintutil.PathHasPrefix(pkgPath, p) {
+			return true
+		}
+	}
+	return lintutil.HasFileDirective(f, Directive)
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		if impPath(imp) == "crypto/rand" {
+			pass.Reportf(imp.Pos(), "crypto/rand imported in determinism-critical code: entropy makes cell results irreproducible; use the seeded internal/rng")
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkRange(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if lintutil.IsPkgFunc(fn, "time") && wallClock[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s in determinism-critical code: the wall clock varies run to run; derive timing from the simulated cycle counter", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if lintutil.IsPkgFunc(fn, fn.Pkg().Path()) && !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s uses the process-global RNG: seed an explicit generator (internal/rng, or rand.New with a derived seed) instead", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkRange flags `for … range m` over a map unless the body is the
+// sanctioned collect-then-sort idiom (only appends of the iteration
+// variables to an outer slice) or a pure delete loop.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBody(rng.Body) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and this loop does more than collect keys for sorting or delete entries; sort the keys first (see sim.FingerprintTraces) or restructure")
+}
+
+func orderInsensitiveBody(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, …) collecting into an outer slice.
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !isAppendCall(s.Rhs[0]) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, k): removal is order-independent.
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "delete" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isAppendCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+func impPath(imp *ast.ImportSpec) string {
+	if len(imp.Path.Value) < 2 {
+		return ""
+	}
+	return imp.Path.Value[1 : len(imp.Path.Value)-1]
+}

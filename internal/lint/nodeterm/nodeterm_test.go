@@ -1,0 +1,18 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"specsched/internal/lint/analysis"
+	"specsched/internal/lint/linttest"
+	"specsched/internal/lint/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	linttest.Run(t, "testdata",
+		[]*analysis.Analyzer{nodeterm.Analyzer},
+		"specsched/internal/core",
+		"specsched/internal/sim",
+		"specsched/internal/stats",
+	)
+}

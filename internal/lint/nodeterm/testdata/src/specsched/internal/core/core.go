@@ -1,0 +1,74 @@
+// Fixture: the whole package is in nodeterm scope (listed in
+// nodeterm.Packages).
+package core
+
+import (
+	crand "crypto/rand" // want `crypto/rand imported in determinism-critical code`
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+type Core struct {
+	cycle int64
+	stats map[string]int64
+}
+
+func (c *Core) Step() int64 {
+	start := time.Now()          // want `time\.Now in determinism-critical code`
+	_ = time.Since(start)        // want `time\.Since in determinism-critical code`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in determinism-critical code`
+	jitter := rand.Intn(4)       // want `rand\.Intn uses the process-global RNG`
+	_ = rand.Float64()           // want `rand\.Float64 uses the process-global RNG`
+	_ = randv2.Uint64()          // want `rand\.Uint64 uses the process-global RNG`
+	var buf [8]byte
+	_, _ = crand.Read(buf[:])
+	return c.cycle + int64(jitter)
+}
+
+// Explicitly seeded generators are legal: determinism comes from the
+// derived seed, not from avoiding randomness.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Duration arithmetic and time.Time plumbing without a wall-clock read
+// stay legal.
+func budget(d time.Duration) time.Duration { return 2 * d }
+
+func (c *Core) serialize(out []string) []string {
+	for name := range c.stats { // want `map iteration order is nondeterministic`
+		out = append(out, name)
+		c.cycle++
+	}
+	return out
+}
+
+// The collect-then-sort idiom: a body that only appends the iteration
+// variables is order-insensitive once the caller sorts.
+func (c *Core) keys() []string {
+	names := make([]string, 0, len(c.stats))
+	for name := range c.stats {
+		names = append(names, name)
+	}
+	return names
+}
+
+// A pure delete loop is order-independent.
+func (c *Core) clear() {
+	for name := range c.stats {
+		delete(c.stats, name)
+	}
+}
+
+// The escape hatch: a reasoned //lint:allow suppresses the finding.
+func (c *Core) wallProfile() time.Time {
+	return time.Now() //lint:allow nodeterm(profiling hook, result never reaches simulated state)
+}
+
+// A reason-less directive suppresses nothing and is itself flagged.
+func (c *Core) badAllow() time.Time {
+	//lint:allow nodeterm // want `malformed //lint:allow directive`
+	return time.Now() // want `time\.Now in determinism-critical code`
+}

@@ -1,0 +1,13 @@
+// Fixture: internal/sim is not in nodeterm.Packages; this file opts in
+// with the determinism directive, mirroring the real cell-execution
+// files.
+
+//specsched:determinism
+
+package sim
+
+import "time"
+
+func simulateCell() int64 {
+	return time.Now().UnixNano() // want `time\.Now in determinism-critical code`
+}

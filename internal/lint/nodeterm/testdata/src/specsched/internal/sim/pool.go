@@ -1,0 +1,9 @@
+// Fixture: no determinism directive — the wall clock is legal here
+// (retry backoff and stall watchdogs are wall-clock by nature).
+package sim
+
+import "time"
+
+func retryBackoff() time.Time {
+	return time.Now()
+}

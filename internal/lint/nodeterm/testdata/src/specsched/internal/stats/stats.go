@@ -1,0 +1,12 @@
+// Fixture: a package outside the determinism scope — nothing here is
+// flagged.
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(int(time.Since(time.Now()))))
+}

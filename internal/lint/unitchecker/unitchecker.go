@@ -1,0 +1,239 @@
+// Package unitchecker makes the specschedlint suite drivable by
+// `go vet -vettool=…`: a std-library-only implementation of the vet
+// tool protocol that golang.org/x/tools/go/analysis/unitchecker
+// implements for x/tools analyzers (this module vendors nothing, so it
+// speaks the protocol itself — the contract is small and documented on
+// unitchecker.Config).
+//
+// The protocol, as cmd/go drives it:
+//
+//	tool -V=full     print "<exe> version devel … buildID=<hex>" so the
+//	                 build cache can fingerprint the tool
+//	tool -flags      print a JSON list of supported analyzer flags
+//	tool foo.cfg     analyze one compilation unit described by the JSON
+//	                 config file: parse cfg.GoFiles, type-check against
+//	                 the export data the build provided in
+//	                 cfg.PackageFile, run the analyzers, print
+//	                 "file:line:col: message" diagnostics to stderr,
+//	                 write the (empty — this suite uses no facts) fact
+//	                 file to cfg.VetxOutput, and exit 2 iff diagnostics
+//	                 were reported
+//
+// Units that the build only needs for facts (VetxOnly) are satisfied
+// with an empty fact file and no analysis at all, which keeps
+// `go vet -vettool=specschedlint ./...` close to free on dependency
+// packages.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"specsched/internal/lint/analysis"
+)
+
+// Config is the JSON compilation-unit description cmd/go hands the
+// tool. Field set and semantics follow x/tools' unitchecker.Config;
+// fields this driver does not consume are kept so the decoder accepts
+// every config cmd/go writes.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vet-tool entry point for the analyzer suite and
+// returns the process exit code. Standalone invocation (package
+// patterns instead of a .cfg file) is handled by the caller
+// (cmd/specschedlint re-executes itself through `go vet`).
+func Main(args []string, analyzers []*analysis.Analyzer) int {
+	if err := analysis.Validate(analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			return printVersion(args[0])
+		case args[0] == "-flags":
+			// No tool-specific flags: an empty list tells cmd/go there
+			// is nothing to forward.
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0], analyzers)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "specschedlint (vet mode): want -V=full, -flags, or a single *.cfg file")
+	return 1
+}
+
+// printVersion implements the -V=full handshake: cmd/go requires the
+// line "<f0> version <f2> … buildID=<hex>" and uses the buildID (a hash
+// of the executable) to invalidate cached vet results when the tool
+// changes.
+func printVersion(arg string) int {
+	if arg != "-V=full" {
+		fmt.Fprintf(os.Stderr, "specschedlint: unsupported flag %s (use -V=full)\n", arg)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}
+
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "specschedlint: decoding %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The build always expects the fact file, even from a suite that
+	// records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "specschedlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it with a better message
+			}
+			fmt.Fprintln(os.Stderr, "specschedlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+
+	diags, err := analysis.RunAnalyzers(analyzers, func(a *analysis.Analyzer) *analysis.Pass {
+		return &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specschedlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheck builds the unit's types.Package against the compiler
+// export data the build system listed in cfg.PackageFile, resolving
+// import paths through cfg.ImportMap exactly as x/tools' unitchecker
+// does.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

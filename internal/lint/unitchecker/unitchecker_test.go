@@ -1,0 +1,148 @@
+package unitchecker_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles cmd/specschedlint once per test binary.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "specschedlint")
+	cmd := exec.Command("go", "build", "-o", exe, "specsched/cmd/specschedlint")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building specschedlint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	// internal/lint/unitchecker/unitchecker_test.go → module root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(self))))
+}
+
+// TestSeededViolationsFailTheBuild is the acceptance proof for the
+// whole pipeline: a throwaway module (path "specsched", so the
+// analyzers' scopes engage) with one deliberate violation per analyzer
+// must make `go vet -vettool=specschedlint ./...` exit nonzero and
+// name every violation.
+func TestSeededViolationsFailTheBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	exe := buildLint(t)
+	dir := t.TempDir()
+
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write("go.mod", "module specsched\n\ngo 1.23\n")
+	// nodeterm: a wall-clock read in internal/core.
+	write("internal/core/clock.go", `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	// ctxpoll: an unbounded pollless loop in a ctx-taking core function.
+	write("internal/core/loop.go", `package core
+
+import "context"
+
+func Spin(ctx context.Context, n *int64) {
+	for *n > 0 {
+		*n--
+	}
+}
+`)
+	// hotpathalloc: an annotated hot function that allocates.
+	write("internal/core/hot.go", `package core
+
+//specsched:hotpath
+func Hot(xs []int, x int) []int { return append(xs, x) }
+`)
+	// errtaxonomy: a façade error outside the taxonomy.
+	write("facade.go", `package specsched
+
+import "fmt"
+
+func Validate(name string) error { return fmt.Errorf("bad name %q", name) }
+`)
+	// boundary: an example reaching into internal/.
+	write("examples/bad/main.go", `package main
+
+import "specsched/internal/core"
+
+func main() { _ = core.Stamp() }
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over seeded violations; output:\n%s", out)
+	}
+	for _, wantFragment := range []string{
+		"time.Now in determinism-critical code",
+		"never polls cancellation",
+		"append in hot path",
+		"fmt.Errorf without %w in exported Validate",
+		"imports specsched/internal/core",
+		"[nodeterm]", "[ctxpoll]", "[hotpathalloc]", "[errtaxonomy]", "[boundary]",
+	} {
+		if !strings.Contains(string(out), wantFragment) {
+			t.Errorf("go vet output missing %q;\noutput:\n%s", wantFragment, out)
+		}
+	}
+}
+
+// TestVersionHandshake pins the -V=full protocol line cmd/go parses to
+// fingerprint the tool for build caching.
+func TestVersionHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	exe := buildLint(t)
+	out, err := exec.Command(exe, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[1] != "version" || !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full output %q does not match the \"<exe> version … buildID=<hex>\" contract", out)
+	}
+}
+
+// TestFlagsHandshake pins the -flags protocol: a JSON flag list (empty
+// for this suite).
+func TestFlagsHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	exe := buildLint(t)
+	out, err := exec.Command(exe, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Fatalf("-flags printed %q, want []", got)
+	}
+}

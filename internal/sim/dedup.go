@@ -1,3 +1,8 @@
+// Cell-execution path: nodeterm's determinism rules apply — DedupKey
+// equality promises bit-identical results, which only holds if nothing
+// here depends on wall clock, global RNG, or map order.
+
+//specsched:determinism
 package sim
 
 import (

@@ -1,3 +1,7 @@
+// Cell-execution path: nodeterm's determinism rules apply (a runner's
+// result must be a pure function of the cell spec).
+
+//specsched:determinism
 package sim
 
 import (

@@ -11,6 +11,12 @@
 // statistics are bit-identical regardless of worker count or the order the
 // scheduler happened to finish cells in. internal/experiments and
 // cmd/benchjson both run on this layer; see DESIGN.md §6.
+//
+// This file is the cell-execution path: specschedlint's nodeterm
+// analyzer holds it to the determinism rules (no wall clock, no global
+// RNG, no order-leaking map iteration).
+
+//specsched:determinism
 package sim
 
 import (

@@ -423,7 +423,10 @@ func (d *Decoder) readReg(dst *int) bool {
 }
 
 // NextInto implements uop.StreamInto: it decodes the next record straight
-// into dst without allocating.
+// into dst without allocating (TestDecoderSteadyStateZeroAllocs pins it
+// at runtime; specschedlint's hotpathalloc pins it at the diff).
+//
+//specsched:hotpath
 func (d *Decoder) NextInto(dst *uop.UOp) bool {
 	if d.done {
 		return false

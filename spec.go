@@ -38,7 +38,7 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 		*d = Duration(p)
 		return nil
 	}
-	return fmt.Errorf("specsched: bad duration %s (want string or nanoseconds)", b)
+	return wrapErrf(ErrInvalidConfig, "specsched: bad duration %s (want string or nanoseconds)", b)
 }
 
 func (d Duration) String() string { return time.Duration(d).String() }
