@@ -52,5 +52,5 @@ func (c *CellCache) Stats() CellCacheStats {
 // attached. Report grids manage their own per-sweep cache and ignore this
 // option.
 func SweepCellCache(c *CellCache) SweepOption {
-	return func(s *Sweep) { s.cellCache = c }
+	return sweepOptionFunc(func(s *Sweep) { s.cellCache = c })
 }

@@ -19,19 +19,24 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_1.json] [-reps 3] [-warmup N] [-measure N]
-//	                       [-jobs N] [-smoke] [-for LABEL]
+//	                       [-jobs N] [-smoke] [-for LABEL] [-profile DIR]
 //	                       [-gate BENCH_<n>.json|auto] [-maxregress 0.20]
 //
 // -smoke skips the figure sweep for a CI-sized run (the scheduler
 // comparison is kept at the default windows and reps, so it stays
-// like-for-like with committed baselines). -gate compares the run's
-// Table 2 and trace-replay event-mode throughputs against a committed
-// baseline file — "auto" selects the highest-numbered BENCH_<n>.json —
-// and exits non-zero on a regression beyond -maxregress; the current
-// scan-mode throughput anchors each comparison so that the gate measures
-// the scheduler, not the speed of the machine CI happened to land on (see
-// gateEventThroughput). Baselines recorded before the trace-replay point
-// existed gate on Table 2 alone.
+// like-for-like with committed baselines). -profile DIR writes a CPU and
+// a heap profile per measured section (each figure, each scheduler
+// comparison point) into DIR as <name>.cpu.pprof / <name>.heap.pprof —
+// the artifacts CI uploads on every perf job, so a gate failure comes
+// with the profile that explains it. -gate compares the run's Table 2
+// and trace-replay event-mode throughputs against a committed baseline
+// file — "auto" selects the highest-numbered BENCH_<n>.json — and exits
+// non-zero on a regression beyond -maxregress; the current scan-mode
+// throughput anchors each comparison so that the gate measures the
+// scheduler, not the speed of the machine CI happened to land on (see
+// gateEventThroughput), and each verdict names the anchor file and
+// prints the nominal delta next to the scan-anchored one. Baselines
+// recorded before the trace-replay point existed gate on Table 2 alone.
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"specsched"
@@ -289,11 +295,48 @@ func gateEventThroughput(cur, base comparison, maxRegress float64) (string, bool
 	}
 	machine := cur.ScanMinsts / base.ScanMinsts
 	floor := base.EventMinsts * machine * (1 - maxRegress)
+	// Both deltas side by side: nominal is the raw throughput change the
+	// trajectory reader cares about, scan-anchored is what the gate
+	// actually judges (machine speed normalized out).
+	nominal := 100 * (cur.EventMinsts/base.EventMinsts - 1)
+	anchored := 100 * (cur.EventMinsts/(base.EventMinsts*machine) - 1)
 	verdict := fmt.Sprintf(
-		"event %.3f Minsts/s vs floor %.3f (baseline event %.3f x machine factor %.2f x allowance %.0f%%); speedup %.2fx vs baseline %.2fx",
+		"event %.3f Minsts/s vs floor %.3f (baseline event %.3f x machine factor %.2f x allowance %.0f%%); nominal %+.1f%%, scan-anchored %+.1f%%; speedup %.2fx vs baseline %.2fx",
 		cur.EventMinsts, floor, base.EventMinsts, machine, 100*(1-maxRegress),
-		cur.Speedup, base.Speedup)
+		nominal, anchored, cur.Speedup, base.Speedup)
 	return verdict, cur.EventMinsts >= floor
+}
+
+// profileSection brackets one measured section with a CPU profile and
+// dumps a heap profile when it finishes, as dir/<name>.cpu.pprof and
+// dir/<name>.heap.pprof. With an empty dir it just runs the section.
+func profileSection(dir, name string, fn func() error) error {
+	if dir == "" {
+		return fn()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, name+".cpu.pprof"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		return err
+	}
+	sectionErr := fn()
+	pprof.StopCPUProfile()
+	hf, err := os.Create(filepath.Join(dir, name+".heap.pprof"))
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	runtime.GC() // fold transient garbage so the heap profile shows retained state
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		return err
+	}
+	return sectionErr
 }
 
 func main() {
@@ -303,6 +346,7 @@ func main() {
 	measure := flag.Int64("measure", 20000, "measured µ-ops per run")
 	jobs := flag.Int("jobs", 0, "sweep worker goroutines for the figure runs (default: GOMAXPROCS)")
 	smoke := flag.Bool("smoke", false, "CI-sized run: figure sweep skipped (comparison windows/reps unchanged)")
+	profileDir := flag.String("profile", "", "directory for per-section CPU/heap pprof profiles (empty = no profiling)")
 	gate := flag.String("gate", "", "baseline BENCH_<n>.json to gate Table 2 event throughput against (\"auto\" = highest-numbered committed BENCH_<n>.json)")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional event-throughput regression for -gate")
 	createdFor := flag.String("for", "", "label recorded as created_for (what this trajectory point measures)")
@@ -360,7 +404,12 @@ func main() {
 	// below).
 	if !*smoke {
 		for _, name := range []string{"table2", "fig3", "fig4", "fig5", "fig7", "fig8", "delays"} {
-			fr, err := runFigure(name, *warmup, *measure, *jobs)
+			var fr figureResult
+			err := profileSection(*profileDir, "fig-"+name, func() error {
+				var err error
+				fr, err = runFigure(name, *warmup, *measure, *jobs)
+				return err
+			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
 				os.Exit(1)
@@ -372,28 +421,44 @@ func main() {
 	}
 
 	// Scheduler comparison: per-workload back-to-back pairs, best of reps.
-	t2, err := table2Comparison(*warmup, *measure, *reps)
+	var t2 comparison
+	err := profileSection(*profileDir, "cmp-table2", func() error {
+		var err error
+		t2, err = table2Comparison(*warmup, *measure, *reps)
+		return err
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: table2 comparison: %v\n", err)
 		os.Exit(1)
 	}
 	var iqev, iqsc float64
-	for i := 0; i < *reps; i++ {
-		for _, m := range []struct {
-			impl specsched.Scheduler
-			dst  *float64
-		}{{specsched.SchedulerScan, &iqsc}, {specsched.SchedulerEvent, &iqev}} {
-			v, err := iq256Throughput(m.impl, 5**measure)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: iq256 %s: %v\n", m.impl, err)
-				os.Exit(1)
-			}
-			if v > *m.dst {
-				*m.dst = v
+	err = profileSection(*profileDir, "cmp-iq256", func() error {
+		for i := 0; i < *reps; i++ {
+			for _, m := range []struct {
+				impl specsched.Scheduler
+				dst  *float64
+			}{{specsched.SchedulerScan, &iqsc}, {specsched.SchedulerEvent, &iqev}} {
+				v, err := iq256Throughput(m.impl, 5**measure)
+				if err != nil {
+					return fmt.Errorf("%s: %w", m.impl, err)
+				}
+				if v > *m.dst {
+					*m.dst = v
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: iq256: %v\n", err)
+		os.Exit(1)
 	}
-	tr, err := traceReplayComparison(*warmup, *measure, *reps)
+	var tr comparison
+	err = profileSection(*profileDir, "cmp-tracereplay", func() error {
+		var err error
+		tr, err = traceReplayComparison(*warmup, *measure, *reps)
+		return err
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: trace replay comparison: %v\n", err)
 		os.Exit(1)
@@ -432,7 +497,7 @@ func main() {
 				continue
 			}
 			verdict, ok := gateEventThroughput(cur, base, *maxRegress)
-			fmt.Printf("gate[%s]: %s\n", name, verdict)
+			fmt.Printf("gate[%s] vs %s: %s\n", name, filepath.Base(gatePath), verdict)
 			pass = pass && ok
 		}
 		if !pass {

@@ -28,6 +28,21 @@ func TestRunFieldParity(t *testing.T) {
 			t.Errorf("results.Run.%s is %v, internal counter is %v", f.Name, pub.Type, f.Type)
 		}
 	}
+	// The scheduler observability counters are part of the public results
+	// contract in their own right, not merely mirrors of whatever the
+	// internal record happens to hold: pin them by name so dropping one
+	// from stats.Run fails here instead of silently shrinking the API.
+	for _, name := range []string{
+		"SchedWakeups", "SchedEvents",
+		"SkippedCycles", "SkipSpans",
+		"SchedBitmapPicks", "SchedBitmapWords",
+	} {
+		if f, ok := rt.FieldByName(name); !ok {
+			t.Errorf("results.Run lacks scheduler observability counter %s", name)
+		} else if f.Type.Kind() != reflect.Int64 {
+			t.Errorf("results.Run.%s is %v, want int64", name, f.Type)
+		}
+	}
 }
 
 // TestRunFromStatsCopiesEverything: a fully populated internal record must

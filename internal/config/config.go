@@ -234,6 +234,15 @@ type CoreConfig struct {
 	// by SchedScan, which always steps cycle by cycle. On by default.
 	TimeSkip bool
 
+	// ReadyBitmap replaces the event-driven scheduler's family-segregated
+	// ready-queue lists with per-family occupancy bitmaps over
+	// dispatch-sequence slots, picked oldest-first with
+	// bits.TrailingZeros64, the hot per-candidate state packed into
+	// slot-indexed SoA arrays. Purely a simulator-speed lever: results are
+	// bit-identical either way (asserted by the differential suite).
+	// Ignored by SchedScan. On by default.
+	ReadyBitmap bool
+
 	// Hit/miss filter geometry (§5.2).
 	FilterEntries       int
 	FilterResetInterval int64
@@ -352,6 +361,7 @@ func Default() CoreConfig {
 		CriticalityGate:  false,
 		Replay:           RecoveryBuffer,
 		TimeSkip:         true,
+		ReadyBitmap:      true,
 
 		FilterEntries:       2048,
 		FilterResetInterval: 10000,

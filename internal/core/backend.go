@@ -700,9 +700,12 @@ func (c *Core) squashFrom(dynID int64, inclusive bool) {
 		if c.sched != nil {
 			// Eagerly unlink from consumer/memory-dependence waiter
 			// lists: those are walked through raw pointers and the inst
-			// will be recycled next cycle. (Ready-queue and timing-wheel
-			// entries are purged lazily via the generation check.)
+			// will be recycled next cycle. (Ready-list and timing-wheel
+			// entries are purged lazily via the generation check; the
+			// ready bitmap's slots are reused by the seq rollback below,
+			// so its bits are cleared eagerly too.)
 			c.sched.unlink(v)
+			c.sched.dropReady(v)
 		}
 		if v.renamed && v.destPhys >= 0 {
 			c.rmap.Rollback(v.u.Dest, v.oldPhys, v.destPhys)
@@ -724,6 +727,15 @@ func (c *Core) squashFrom(dynID int64, inclusive bool) {
 	}
 	c.squashRefetch = refetch
 	c.rob = c.rob[:cut]
+
+	// Roll the dispatch-sequence counter back over the squashed suffix:
+	// the next dispatch reuses the oldest victim's seq, keeping live ROB
+	// seqs contiguous (span <= ROBEntries) so the bitmap ready queue's
+	// seq&mask slots never alias. With an emptied ROB contiguity is
+	// trivial, so dispSeq is left alone.
+	if cut > 0 {
+		c.dispSeq = c.rob[cut-1].seq + 1
+	}
 
 	// Rebuild the refetch queue into the standby buffer: ROB victims
 	// (oldest first — reverse the youngest-first collection), then

@@ -97,6 +97,9 @@ type Core struct {
 	refetchQ  []uop.UOp
 	wrongPath bool
 	nextDynID int64
+	// dispSeq is the next dispatch sequence number (see instState.seq);
+	// squashFrom rolls it back over squashed ROB suffixes.
+	dispSeq int64
 
 	fetchResume int64 // no fetch before this cycle
 	issueBlock  int64 // issue blocked at exactly this cycle (replay handling)

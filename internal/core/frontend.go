@@ -153,6 +153,8 @@ func (c *Core) dispatch() {
 		}
 		c.frontQ = c.frontQ[1:]
 		width--
+		e.seq = c.dispSeq
+		c.dispSeq++
 		c.rename(e)
 		c.robAppend(e)
 		if c.sched == nil {

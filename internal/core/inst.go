@@ -26,6 +26,12 @@ type instState struct {
 	// monotone; wrong-path µ-ops get ids too, unlike u.Seq).
 	dynID int64
 
+	// seq is the dispatch sequence number. Unlike dynID it is rolled back
+	// when a ROB suffix is squashed (squashFrom), so the seqs of live ROB
+	// entries are always contiguous — the property that makes the bitmap
+	// ready queue's seq&mask slotting alias-free (see readyBM).
+	seq int64
+
 	readyAt int64 // frontend: cycle the µ-op reaches rename
 
 	// Rename state.

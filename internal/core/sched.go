@@ -324,6 +324,79 @@ func (l *readyList) prepare() {
 	}
 }
 
+// readyBM is the bitmap ready queue (config.ReadyBitmap, the default):
+// per-family occupancy bitmaps over dispatch-sequence slots, with the hot
+// per-candidate state packed into slot-indexed SoA arrays for cache
+// density. A µ-op's slot is seq&mask; because squashFrom rolls the
+// dispatch-sequence counter back over squashed ROB suffixes, live ROB
+// seqs are always contiguous with span <= ROBEntries <= capacity, so the
+// slotting never aliases two live µ-ops. Selection walks the occupancy
+// words with bits.TrailingZeros64 in circular slot order starting at the
+// ROB head's slot — which is exactly global age order, so the pick
+// visits candidates in the same sequence as the scan scheduler and the
+// list-based ready queues.
+//
+// Unlike the generation-purged ready lists, bits are cleared eagerly —
+// at issue, at re-park (revised promise), and at squash (dropReady) —
+// so a set bit always denotes a live, unissued, in-IQ candidate and the
+// pick loop needs no generation or state checks.
+type readyBM struct {
+	mask   int64 // capacity-1; capacity is a power of two >= ROBEntries
+	nwords int   // occupancy words per family (power of two)
+	// words[f] is family f's occupancy bitmap; count[f] tracks its set
+	// bits so empty families drop out of the pick in O(1).
+	words [numFam][]uint64
+	count [numFam]int
+	// Slot-indexed SoA candidate state: the µ-op, its seq (invariant
+	// checking), the revision epoch snapshotted at enqueue, and its
+	// functional-unit family.
+	slotInst  []*inst
+	slotSeq   []int64
+	slotEpoch []uint32
+	slotFam   []uint8
+}
+
+func newReadyBM(robEntries int) *readyBM {
+	size := 64
+	for size < robEntries {
+		size *= 2
+	}
+	bm := &readyBM{
+		mask:      int64(size - 1),
+		nwords:    size / 64,
+		slotInst:  make([]*inst, size),
+		slotSeq:   make([]int64, size),
+		slotEpoch: make([]uint32, size),
+		slotFam:   make([]uint8, size),
+	}
+	for f := range bm.words {
+		bm.words[f] = make([]uint64, bm.nwords)
+	}
+	return bm
+}
+
+// set files e as a ready candidate of family f.
+//
+//specsched:hotpath
+func (bm *readyBM) set(e *inst, f int, epoch uint32) {
+	slot := e.seq & bm.mask
+	bm.words[f][slot>>6] |= 1 << uint(slot&63)
+	bm.count[f]++
+	bm.slotInst[slot] = e
+	bm.slotSeq[slot] = e.seq
+	bm.slotEpoch[slot] = epoch
+	bm.slotFam[slot] = uint8(f)
+}
+
+// clearSlot removes the candidate at slot (family f). Callers own the
+// inReadyQ bookkeeping.
+//
+//specsched:hotpath
+func (bm *readyBM) clearSlot(slot int64, f int) {
+	bm.words[f][slot>>6] &^= 1 << uint(slot&63)
+	bm.count[f]--
+}
+
 // execEntry is one issue-to-execute latch entry on the execute wheel.
 type execEntry struct {
 	e   *inst
@@ -339,7 +412,10 @@ type eventSched struct {
 	// own age-ordered slice and replay-priority scan, per §3.1 — its size
 	// is already event-proportional). readyTotal counts entries across all
 	// families and batches so the per-cycle idle check is one compare.
+	// With config.ReadyBitmap (the default) bm replaces the lists and
+	// readyTotal is exact (no lazily-purged entries).
 	ready      [numFam]readyList
+	bm         *readyBM
 	readyTotal int
 
 	// revEpoch advances whenever a published promise is revised — which
@@ -395,6 +471,9 @@ func newEventSched(c *Core) *eventSched {
 	}
 	for i := range s.regWakeAt {
 		s.regWakeAt[i] = -1
+	}
+	if c.cfg.ReadyBitmap {
+		s.bm = newReadyBM(c.cfg.ROBEntries)
 	}
 	return s
 }
@@ -518,9 +597,27 @@ func (s *eventSched) enqueue(e *inst) {
 		s.subStore(e, st)
 	default:
 		e.inReadyQ = true
-		s.ready[fuFamily(e.u.Class)].add(readyEntry{dynID: e.dynID, gen: e.gen, epoch: s.revEpoch, e: e})
+		if s.bm != nil {
+			s.bm.set(e, fuFamily(e.u.Class), s.revEpoch)
+		} else {
+			s.ready[fuFamily(e.u.Class)].add(readyEntry{dynID: e.dynID, gen: e.gen, epoch: s.revEpoch, e: e})
+		}
 		s.readyTotal++
 	}
+}
+
+// dropReady eagerly clears a squashed µ-op's ready-bitmap bit. The
+// bitmap's slot will be reused as soon as squashFrom rolls the dispatch
+// sequence back, so — unlike the generation-purged list and wheel
+// entries — bitmap membership cannot be purged lazily. List mode is a
+// no-op (squashFrom already clears inReadyQ; the list entry dies by
+// generation).
+func (s *eventSched) dropReady(e *inst) {
+	if s.bm == nil || !e.inReadyQ {
+		return
+	}
+	s.bm.clearSlot(e.seq&s.bm.mask, int(s.bm.slotFam[e.seq&s.bm.mask]))
+	s.readyTotal--
 }
 
 // wakeReg flushes register p's consumer list through enqueue.
@@ -819,6 +916,123 @@ func (s *eventSched) issue() {
 
 	c.loadBanksThisCycle = c.loadBanksThisCycle[:0]
 
+	budget := c.newBudget()
+	width := c.cfg.IssueWidth
+	loadsIssued := 0
+
+	// Recovery buffer: replay with priority, oldest first (shared helper —
+	// identical semantics in both scheduler implementations).
+	width = c.issueRecovery(&budget, width, &loadsIssued)
+
+	if s.bm != nil {
+		s.pickBitmap(&budget, width, &loadsIssued)
+	} else {
+		s.pickList(&budget, width, &loadsIssued)
+	}
+}
+
+// pickBitmap is the bitmap select stage: one circular pass over the
+// occupancy words of the budget-eligible families, oldest candidate
+// first. The pass starts at the ROB head's slot; the base word is
+// visited twice — masked to its high bits first and its low bits last —
+// so within-word bit order never yields a younger candidate before an
+// older one. Families whose per-cycle budget is exhausted drop out of
+// the union wholesale, exactly the candidates takeFU would reject one by
+// one (budgets only decrease within a cycle).
+//
+//specsched:hotpath
+func (s *eventSched) pickBitmap(budget *fuBudget, width int, loadsIssued *int) {
+	c := s.c
+	bm := s.bm
+	var act [numFam]int
+	na := 0
+	for f := 0; f < numFam; f++ {
+		if bm.count[f] > 0 && !famBlocked(f, budget) {
+			act[na] = f
+			na++
+		}
+	}
+	if na == 0 || width <= 0 {
+		return
+	}
+	// A non-empty bitmap implies a non-empty ROB (every candidate is a
+	// live ROB entry), so the head's slot anchors the circular scan.
+	baseSlot := c.rob[0].seq & bm.mask
+	wi := int(baseSlot >> 6)
+	wmask := bm.nwords - 1
+	baseOff := uint(baseSlot & 63)
+	visits := bm.nwords
+	if baseOff != 0 {
+		visits++
+	}
+	for v := 0; v < visits && width > 0 && na > 0; v++ {
+		var cur uint64
+		for a := 0; a < na; a++ {
+			cur |= bm.words[act[a]][wi]
+		}
+		if v == 0 {
+			cur &= ^uint64(0) << baseOff
+		} else if v == visits-1 && baseOff != 0 {
+			cur &= ^(^uint64(0) << baseOff)
+		}
+		c.run.SchedBitmapWords++
+		for cur != 0 && width > 0 {
+			slot := int64(wi<<6 + bits.TrailingZeros64(cur))
+			cur &= cur - 1
+			c.run.SchedBitmapPicks++
+			f := int(bm.slotFam[slot])
+			if famBlocked(f, budget) {
+				// f's budget ran out mid-pass: drop it from the union and
+				// mask its remaining bits out of the current word.
+				for a := 0; a < na; a++ {
+					if act[a] == f {
+						na--
+						act[a] = act[na]
+						break
+					}
+				}
+				if na == 0 {
+					return
+				}
+				cur &^= bm.words[f][wi]
+				continue
+			}
+			e := bm.slotInst[slot]
+			if bm.slotEpoch[slot] != s.revEpoch {
+				if !c.ready(e) {
+					// A promise was revised since enqueue and this
+					// candidate's source is no longer available: park on a
+					// consumer list.
+					bm.clearSlot(slot, f)
+					e.inReadyQ = false
+					s.readyTotal--
+					s.subscribe(e)
+					continue
+				}
+				// Still ready under the current epoch: refresh so later
+				// cycles skip the re-check (readiness cannot regress
+				// without another revision).
+				bm.slotEpoch[slot] = s.revEpoch
+			}
+			if !c.takeFU(e, budget) {
+				// Unit occupied (divide spacing): stays ready — only this
+				// cycle's working copy consumed the bit.
+				continue
+			}
+			bm.clearSlot(slot, f)
+			e.inReadyQ = false
+			s.readyTotal--
+			c.doIssue(e, loadsIssued)
+			width--
+		}
+		wi = (wi + 1) & wmask
+	}
+}
+
+// pickList is the legacy list select stage (config.ReadyBitmap off).
+func (s *eventSched) pickList(budget *fuBudget, width int, loadsIssued *int) {
+	c := s.c
+
 	// Fold arrival batches and build the active-family worklist.
 	var idx, keep [numFam]int
 	var lives [numFam][]readyEntry
@@ -833,14 +1047,6 @@ func (s *eventSched) issue() {
 		}
 	}
 
-	budget := c.newBudget()
-	width := c.cfg.IssueWidth
-	loadsIssued := 0
-
-	// Recovery buffer: replay with priority, oldest first (shared helper —
-	// identical semantics in both scheduler implementations).
-	width = c.issueRecovery(&budget, width, &loadsIssued)
-
 	// Scheduler fills the holes, oldest first, from the family-segregated
 	// ready queues: a merge by dynID over the active families visits
 	// candidates in exactly the scan's age order, but families whose
@@ -854,7 +1060,7 @@ func (s *eventSched) issue() {
 		var bestID int64
 		for a := 0; a < na; {
 			f := act[a]
-			if idx[f] >= len(lives[f]) || famBlocked(f, &budget) {
+			if idx[f] >= len(lives[f]) || famBlocked(f, budget) {
 				na--
 				act[a] = act[na]
 				continue
@@ -884,7 +1090,7 @@ func (s *eventSched) issue() {
 			s.subscribe(e)
 			continue
 		}
-		if !c.takeFU(e, &budget) {
+		if !c.takeFU(e, budget) {
 			// Unit occupied (divide spacing): stays ready, like the scan
 			// continuing past it to younger entries.
 			lives[best][keep[best]] = ent
@@ -892,7 +1098,7 @@ func (s *eventSched) issue() {
 			continue
 		}
 		e.inReadyQ = false
-		c.doIssue(e, &loadsIssued)
+		c.doIssue(e, loadsIssued)
 		width--
 	}
 	for f := range s.ready {
@@ -956,6 +1162,56 @@ func (s *eventSched) checkInvariants() string {
 					return fmt.Sprintf("live ready entry for µ-op %d without inReadyQ", ent.dynID)
 				}
 			}
+		}
+	}
+	if s.bm != nil {
+		// Live ROB seqs must be contiguous (the alias-freedom argument) …
+		for i := 1; i < len(s.c.rob); i++ {
+			if s.c.rob[i].seq != s.c.rob[i-1].seq+1 {
+				return fmt.Sprintf("ROB seqs not contiguous at %d: %d then %d",
+					i, s.c.rob[i-1].seq, s.c.rob[i].seq)
+			}
+		}
+		if n := len(s.c.rob); n > 0 && s.c.dispSeq != s.c.rob[n-1].seq+1 {
+			return fmt.Sprintf("dispSeq %d does not follow ROB tail seq %d",
+				s.c.dispSeq, s.c.rob[n-1].seq)
+		}
+		// … and every set bit must denote a live, unissued, in-IQ
+		// candidate whose SoA row matches (the eager-clearing contract).
+		total := 0
+		for f := range s.bm.words {
+			n := 0
+			for wi, w := range s.bm.words[f] {
+				for w != 0 {
+					slot := int64(wi<<6 + bits.TrailingZeros64(w))
+					w &= w - 1
+					n++
+					e := s.bm.slotInst[slot]
+					switch {
+					case e == nil:
+						return fmt.Sprintf("family %d bit at slot %d with no µ-op", f, slot)
+					case e.seq&s.bm.mask != slot || s.bm.slotSeq[slot] != e.seq:
+						return fmt.Sprintf("bitmap slot %d aliased: µ-op %d has seq %d (slotSeq %d)",
+							slot, e.dynID, e.seq, s.bm.slotSeq[slot])
+					case e.squashed:
+						return fmt.Sprintf("squashed µ-op %d still in the ready bitmap", e.dynID)
+					case !e.inReadyQ:
+						return fmt.Sprintf("bitmap candidate µ-op %d without inReadyQ", e.dynID)
+					case e.issued || e.inBuffer || e.executed || !e.inIQ:
+						return fmt.Sprintf("bitmap candidate µ-op %d is not an unissued IQ entry", e.dynID)
+					case int(s.bm.slotFam[slot]) != fuFamily(e.u.Class) || f != fuFamily(e.u.Class):
+						return fmt.Sprintf("bitmap candidate µ-op %d filed under family %d, class wants %d",
+							e.dynID, f, fuFamily(e.u.Class))
+					}
+				}
+			}
+			if n != s.bm.count[f] {
+				return fmt.Sprintf("family %d bitmap count %d, %d bits set", f, s.bm.count[f], n)
+			}
+			total += n
+		}
+		if total != s.readyTotal {
+			return fmt.Sprintf("readyTotal %d, %d bitmap bits set", s.readyTotal, total)
 		}
 	}
 	return ""

@@ -72,3 +72,54 @@ func coldHelper(c *core, us []UOp) []*UOp {
 func (c *core) stepAllowed() {
 	c.pool = append(c.pool, c.graveyard...) //lint:allow hotpathalloc(pool and graveyard share one backing sized at construction)
 }
+
+type readyBM struct {
+	words [2][]uint64
+	slots []*UOp
+	act   [2]int
+}
+
+// pickBitmap mirrors the scheduler's bitmap pick loop: pure index and
+// bit arithmetic over pre-sized arrays is allocation-free and must pass
+// the analyzer untouched.
+//
+//specsched:hotpath
+func (bm *readyBM) pickBitmap(budget int) *UOp {
+	for wi := range bm.words[0] {
+		cur := bm.words[0][wi] | bm.words[1][wi]
+		for cur != 0 {
+			slot := wi<<6 + trailingZeros(cur)
+			cur &= cur - 1
+			if e := bm.slots[slot]; e != nil {
+				if budget--; budget < 0 {
+					return nil
+				}
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// pickBitmapLeaky is the regression shape the analyzer exists to catch:
+// a per-pick scratch slice snuck into the loop.
+//
+//specsched:hotpath
+func (bm *readyBM) pickBitmapLeaky() []*UOp {
+	picked := make([]*UOp, 0, 4) // want `make in hot path allocates`
+	for wi := range bm.words[0] {
+		for cur := bm.words[0][wi]; cur != 0; cur &= cur - 1 {
+			picked = append(picked, bm.slots[wi<<6+trailingZeros(cur)]) // want `append in hot path may grow the backing array`
+		}
+	}
+	return picked
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -87,6 +87,15 @@ type Run struct {
 	// MaskSchedulerCounters.
 	SkippedCycles int64
 	SkipSpans     int64
+
+	// Bitmap ready-selection diagnostics (config.ReadyBitmap, event
+	// scheduler only): SchedBitmapPicks counts candidates the bitmap pick
+	// loop consumed (issued, re-parked, or budget-skipped) and
+	// SchedBitmapWords counts occupancy words it scanned. Zero under the
+	// scan implementation and under the list-based event ready queues;
+	// simulator-side, so masked by MaskSchedulerCounters.
+	SchedBitmapPicks int64
+	SchedBitmapWords int64
 }
 
 // MaskSchedulerCounters returns a copy of r with the simulator-side
@@ -99,6 +108,8 @@ func (r *Run) MaskSchedulerCounters() Run {
 	cp.SchedEvents = 0
 	cp.SkippedCycles = 0
 	cp.SkipSpans = 0
+	cp.SchedBitmapPicks = 0
+	cp.SchedBitmapWords = 0
 	return cp
 }
 

@@ -79,6 +79,13 @@ type Run struct {
 	SkippedCycles int64
 	SkipSpans     int64
 
+	// Bitmap ready-selection diagnostics (the default event-scheduler
+	// ready queue): candidates consumed by the bitmap pick loop and
+	// occupancy words scanned. Zero under the scan implementation and
+	// under the list-based event ready queues.
+	SchedBitmapPicks int64
+	SchedBitmapWords int64
+
 	// Elapsed is the wall-clock time spent simulating: the measurement
 	// window for Simulator runs, the whole cell (construction + warmup +
 	// measure) for sweep cells. Zero for checkpoint-cached sweep cells.

@@ -34,51 +34,57 @@ type Simulator struct {
 	timeSkip  *bool
 }
 
-// Option configures a Simulator.
-type Option func(*Simulator)
-
 // WithPreset selects the machine configuration by preset name (see the
 // specsched/presets package). Default: the paper's central SpecSched_4.
-func WithPreset(name string) Option { return func(s *Simulator) { s.preset = name } }
+func WithPreset(name string) Option {
+	return simOptionFunc(func(s *Simulator) { s.preset = name })
+}
 
 // WithWorkload selects a Table 2 benchmark by name — shorthand for
 // WithWorkloadSpec(WorkloadByName(name)).
 func WithWorkload(name string) Option {
-	return func(s *Simulator) { s.workload = WorkloadByName(name) }
+	return simOptionFunc(func(s *Simulator) { s.workload = WorkloadByName(name) })
 }
 
 // WithWorkloadSpec selects any workload: named, custom profile, or kernel.
-func WithWorkloadSpec(w Workload) Option { return func(s *Simulator) { s.workload = w } }
+func WithWorkloadSpec(w Workload) Option {
+	return simOptionFunc(func(s *Simulator) { s.workload = w })
+}
 
-// WithWarmup sets the number of µ-ops committed (cache- and
-// predictor-warming) before the measurement window opens.
-func WithWarmup(uops int64) Option { return func(s *Simulator) { s.warmup = uops } }
+// WithWarmup sets the warmup window.
+//
+// Deprecated: use Warmup, which sweeps accept too.
+func WithWarmup(uops int64) Option { return Warmup(uops) }
 
-// WithMeasure sets the measurement window length in committed µ-ops.
-func WithMeasure(uops int64) Option { return func(s *Simulator) { s.measure = uops } }
+// WithMeasure sets the measurement window.
+//
+// Deprecated: use Measure, which sweeps accept too.
+func WithMeasure(uops int64) Option { return Measure(uops) }
 
 // WithSeed overrides the workload's RNG seed (named profiles default to
 // their calibrated seed, kernels to a fixed one). Two runs of the same
 // workload and seed are bit-identical; different seeds give decorrelated
 // but statistically alike programs.
 func WithSeed(seed uint64) Option {
-	return func(s *Simulator) { s.seed, s.seedSet = seed, true }
+	return simOptionFunc(func(s *Simulator) { s.seed, s.seedSet = seed, true })
 }
 
-// WithScheduler selects the simulator-side wakeup/select implementation.
-// Results are bit-identical across implementations; only speed differs.
-func WithScheduler(impl Scheduler) Option { return func(s *Simulator) { s.scheduler = impl } }
+// WithScheduler selects the wakeup/select implementation.
+//
+// Deprecated: use UseScheduler, which sweeps accept too.
+func WithScheduler(impl Scheduler) Option { return UseScheduler(impl) }
 
-// WithTimeSkip toggles quiescent-cycle skipping (default on; ignored by the
-// scan scheduler). Results are bit-identical either way.
-func WithTimeSkip(on bool) Option { return func(s *Simulator) { s.timeSkip = &on } }
+// WithTimeSkip toggles quiescent-cycle skipping.
+//
+// Deprecated: use TimeSkip, which sweeps accept too.
+func WithTimeSkip(on bool) Option { return TimeSkip(on) }
 
 // NewSimulator builds a simulator description. Options are validated at
 // Run, so construction never fails.
 func NewSimulator(opts ...Option) *Simulator {
 	s := &Simulator{preset: "SpecSched_4", warmup: DefaultWarmup, measure: DefaultMeasure}
 	for _, o := range opts {
-		o(s)
+		o.applySimulator(s)
 	}
 	return s
 }

@@ -235,7 +235,7 @@ func NewSweepFromSpec(spec SweepSpec, opts ...SweepOption) (*Sweep, error) {
 		s.chaos = &c
 	}
 	for _, opt := range opts {
-		opt(s)
+		opt.applySweep(s)
 	}
 	return s, nil
 }

@@ -129,19 +129,16 @@ type Sweep struct {
 	workerReassigned int // cell attempts lost to a worker death and retried elsewhere
 }
 
-// SweepOption configures a Sweep.
-type SweepOption func(*Sweep)
-
 // SweepConfigs sets the configuration presets of the grid (required for
 // Run and Results; ignored by Report, whose experiments pick their own).
 func SweepConfigs(names ...string) SweepOption {
-	return func(s *Sweep) { s.configs = append([]string(nil), names...) }
+	return sweepOptionFunc(func(s *Sweep) { s.configs = append([]string(nil), names...) })
 }
 
 // SweepWorkloads restricts the workload axis (default: the full Table 2
 // suite).
 func SweepWorkloads(names ...string) SweepOption {
-	return func(s *Sweep) { s.workloads = append([]string(nil), names...) }
+	return sweepOptionFunc(func(s *Sweep) { s.workloads = append([]string(nil), names...) })
 }
 
 // SweepTraces adds recorded µ-op traces (see Workload.Record and
@@ -154,15 +151,15 @@ func SweepWorkloads(names ...string) SweepOption {
 // of a trace cell vary the wrong-path seed only (the recorded stream is
 // fixed); replica 0 replays bit-identically to the live workload.
 func SweepTraces(paths ...string) SweepOption {
-	return func(s *Sweep) { s.traces = append(s.traces, paths...) }
+	return sweepOptionFunc(func(s *Sweep) { s.traces = append(s.traces, paths...) })
 }
 
 // SweepSeeds sets the number of seed replicas per (config, workload) cell
 // (default 1: the calibrated profile seed).
-func SweepSeeds(n int) SweepOption { return func(s *Sweep) { s.seeds = n } }
+func SweepSeeds(n int) SweepOption { return sweepOptionFunc(func(s *Sweep) { s.seeds = n }) }
 
 // SweepJobs bounds the worker goroutines (default: GOMAXPROCS).
-func SweepJobs(n int) SweepOption { return func(s *Sweep) { s.jobs = n } }
+func SweepJobs(n int) SweepOption { return sweepOptionFunc(func(s *Sweep) { s.jobs = n }) }
 
 // defaultWorkerRetries is the per-cell attempt budget a sweep with
 // subprocess workers gets when the caller set none: worker crashes are
@@ -184,51 +181,65 @@ const defaultWorkerRetries = 3
 // reassignments. Unless SweepJobs says otherwise, the pool concurrency
 // follows the worker count; unless SweepRetries says otherwise, the
 // per-cell attempt budget defaults to 3 so reassignment has room to work.
-func SweepWorkers(n int) SweepOption { return func(s *Sweep) { s.workers = n } }
+func SweepWorkers(n int) SweepOption { return sweepOptionFunc(func(s *Sweep) { s.workers = n }) }
 
 // SweepWarmup sets the per-cell warmup window in µ-ops.
-func SweepWarmup(uops int64) SweepOption { return func(s *Sweep) { s.warmup = uops } }
+//
+// Deprecated: use Warmup, which simulators accept too.
+func SweepWarmup(uops int64) SweepOption { return Warmup(uops) }
 
 // SweepMeasure sets the per-cell measurement window in µ-ops.
-func SweepMeasure(uops int64) SweepOption { return func(s *Sweep) { s.measure = uops } }
+//
+// Deprecated: use Measure, which simulators accept too.
+func SweepMeasure(uops int64) SweepOption { return Measure(uops) }
 
-// SweepScheduler selects the simulator-side wakeup/select implementation
-// for every cell (results are bit-identical; speed differs).
-func SweepScheduler(impl Scheduler) SweepOption { return func(s *Sweep) { s.scheduler = impl } }
+// SweepScheduler selects the wakeup/select implementation for every cell.
+//
+// Deprecated: use UseScheduler, which simulators accept too.
+func SweepScheduler(impl Scheduler) SweepOption { return UseScheduler(impl) }
 
-// SweepTimeSkip toggles quiescent-cycle skipping for every cell (default
-// on; bit-identical either way).
-func SweepTimeSkip(on bool) SweepOption { return func(s *Sweep) { s.timeSkip = &on } }
+// SweepTimeSkip toggles quiescent-cycle skipping for every cell.
+//
+// Deprecated: use TimeSkip, which simulators accept too.
+func SweepTimeSkip(on bool) SweepOption { return TimeSkip(on) }
 
 // SweepCheckpoint names a resumable checkpoint file: completed cells are
 // recorded there (flushed periodically and on completion or cancellation)
 // and a restarted sweep with the same options skips them. A file written
 // under different sweep options is rejected, not silently merged.
-func SweepCheckpoint(path string) SweepOption { return func(s *Sweep) { s.checkpoint = path } }
+func SweepCheckpoint(path string) SweepOption {
+	return sweepOptionFunc(func(s *Sweep) { s.checkpoint = path })
+}
 
 // SweepCellTimeout bounds one cell's wall-clock time (0 = unbounded); a
 // timed-out cell fails alone and the sweep continues.
-func SweepCellTimeout(d time.Duration) SweepOption { return func(s *Sweep) { s.cellTimeout = d } }
+func SweepCellTimeout(d time.Duration) SweepOption {
+	return sweepOptionFunc(func(s *Sweep) { s.cellTimeout = d })
+}
 
 // SweepStallTimeout arms the per-cell stall watchdog: a cell whose
 // simulated-cycle counter stops advancing for d wall-clock time is killed
 // early with a stall error instead of waiting out SweepCellTimeout. Slow
 // but progressing cells are spared — the watchdog reads forward progress,
 // not wall clock. 0 (the default) disables it.
-func SweepStallTimeout(d time.Duration) SweepOption { return func(s *Sweep) { s.stallTimeout = d } }
+func SweepStallTimeout(d time.Duration) SweepOption {
+	return sweepOptionFunc(func(s *Sweep) { s.stallTimeout = d })
+}
 
 // SweepRetries sets the attempt budget per cell (default 1 = no retries).
 // Only transiently failing cells are retried — panics, timeouts, stalls,
 // and errors exposing Transient() bool — while deterministic failures
 // (ErrBadTrace, ErrInvalidConfig) fail immediately: rerunning a
 // deterministic simulator on identical input cannot change the outcome.
-func SweepRetries(attempts int) SweepOption { return func(s *Sweep) { s.retries = attempts } }
+func SweepRetries(attempts int) SweepOption {
+	return sweepOptionFunc(func(s *Sweep) { s.retries = attempts })
+}
 
 // SweepRetryBackoff shapes the delay between retry attempts: base before
 // the first retry, doubling per subsequent retry, capped at max (base 0
 // defaults to 100ms, max 0 to 32×base).
 func SweepRetryBackoff(base, max time.Duration) SweepOption {
-	return func(s *Sweep) { s.retryBackoff, s.maxRetryBackoff = base, max }
+	return sweepOptionFunc(func(s *Sweep) { s.retryBackoff, s.maxRetryBackoff = base, max })
 }
 
 // SweepAbandonBudget bounds the goroutines a sweep may abandon to timed-out
@@ -236,7 +247,9 @@ func SweepRetryBackoff(base, max time.Duration) SweepOption {
 // forcibly killed and may linger until their simulation polls
 // cancellation). 0 (the default) allows 2× the worker count; negative is
 // unlimited.
-func SweepAbandonBudget(n int) SweepOption { return func(s *Sweep) { s.abandonBudget = n } }
+func SweepAbandonBudget(n int) SweepOption {
+	return sweepOptionFunc(func(s *Sweep) { s.abandonBudget = n })
+}
 
 // Chaos is a deterministic fault-injection plan for resilience testing:
 // each rate is the per-attempt probability (0..1) of injecting that fault
@@ -288,18 +301,20 @@ func (c *Chaos) plan() *faultinject.Plan {
 // checkpoint flush (nil = no injection). Production sweeps leave this
 // unset; CI chaos jobs and cmd/experiments -chaos use it to prove the
 // resilience machinery end to end.
-func SweepChaos(c Chaos) SweepOption { return func(s *Sweep) { s.chaos = &c } }
+func SweepChaos(c Chaos) SweepOption { return sweepOptionFunc(func(s *Sweep) { s.chaos = &c }) }
 
 // SweepProgress installs a progress callback, invoked after every finished
 // cell from a single goroutine.
-func SweepProgress(fn func(Progress)) SweepOption { return func(s *Sweep) { s.onProgress = fn } }
+func SweepProgress(fn func(Progress)) SweepOption {
+	return sweepOptionFunc(func(s *Sweep) { s.onProgress = fn })
+}
 
 // NewSweep builds a sweep description. Options are validated when the
 // sweep runs, so construction never fails.
 func NewSweep(opts ...SweepOption) *Sweep {
 	s := &Sweep{seeds: 1, warmup: DefaultWarmup, measure: DefaultMeasure}
 	for _, o := range opts {
-		o(s)
+		o.applySweep(s)
 	}
 	return s
 }
